@@ -1,0 +1,70 @@
+// Command abrsim evaluates ABR video-streaming algorithms over synthetic
+// Lumos5G-style throughput traces (§5): pick a network generation, an
+// algorithm set, and a chunk length, and it reports bitrate, stalls, and
+// QoE per algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fivegsim/internal/abr"
+	"fivegsim/internal/trace"
+)
+
+func main() {
+	gen := flag.String("net", "5g", "network generation for traces and ladder (5g, 4g)")
+	chunk := flag.Float64("chunk", 4, "chunk length (s)")
+	durS := flag.Float64("duration", 300, "video duration (s)")
+	nTraces := flag.Int("traces", 40, "number of traces")
+	seed := flag.Int64("seed", 1, "random seed")
+	withPensieve := flag.Bool("pensieve", true, "train and include Pensieve")
+	flag.Parse()
+
+	var top float64
+	var traces, training [][]float64
+	switch *gen {
+	case "5g":
+		top = 160
+		traces = trace.GenSet5G(*nTraces, int(*durS)+100, *seed)
+		training = trace.GenSet5G(30, int(*durS)+100, 99)
+	case "4g":
+		top = 20
+		traces = trace.GenSet4G(*nTraces, int(*durS)+100, *seed)
+		training = trace.GenSet4G(30, int(*durS)+100, 99)
+	default:
+		fmt.Fprintf(os.Stderr, "abrsim: unknown -net %q (5g, 4g)\n", *gen)
+		os.Exit(2)
+	}
+	v, err := abr.NewVideo(*durS, *chunk, top, 6)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abrsim:", err)
+		os.Exit(1)
+	}
+
+	algos := []abr.Algorithm{
+		&abr.BBA{}, &abr.RB{}, &abr.BOLA{},
+		&abr.MPC{Label: "fastMPC"},
+		&abr.MPC{Label: "robustMPC", Robust: true},
+		&abr.FESTIVE{},
+	}
+	if *withPensieve {
+		pens, err := abr.TrainPensieve(v, training, abr.TrainOptions{}, *seed+7)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abrsim: pensieve:", err)
+			os.Exit(1)
+		}
+		algos = append(algos, pens)
+	}
+
+	fmt.Printf("%s video: %d tracks (top %.0f Mbps), %.0f s chunks, %d chunks, %d traces\n\n",
+		*gen, v.Tracks(), v.Top(), v.ChunkS, v.NumChunks, len(traces))
+	fmt.Printf("%-10s  %8s  %7s  %9s  %10s  %8s\n",
+		"algorithm", "bitrate", "stall%", "stall(s)", "QoE", "switches")
+	for _, a := range algos {
+		g := abr.Evaluate(v, a, traces, abr.Options{})
+		fmt.Printf("%-10s  %8.3f  %6.2f%%  %9.2f  %10.1f  %8.1f\n",
+			g.Algorithm, g.NormBitrate, g.StallPct, g.MeanStallS, g.MeanQoE, g.MeanSwitches)
+	}
+}

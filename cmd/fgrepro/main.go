@@ -1,0 +1,78 @@
+// Command fgrepro regenerates the tables and figures of "A Variegated Look
+// at 5G in the Wild" (SIGCOMM 2021) from the simulation substrate.
+//
+// Usage:
+//
+//	fgrepro list                 # list experiment ids
+//	fgrepro run fig11 table7     # run specific experiments
+//	fgrepro all                  # run everything
+//
+// Flags:
+//
+//	-seed N   random seed (default 1)
+//	-quick    reduced repeats for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fivegsim/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced repeats for a fast pass")
+	flag.Usage = usage
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case "all":
+		for _, t := range experiments.RunAll(cfg) {
+			fmt.Println(t)
+		}
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "fgrepro run: need at least one experiment id")
+			os.Exit(2)
+		}
+		for _, id := range args[1:] {
+			ts, err := experiments.Run(id, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fgrepro:", err)
+				os.Exit(1)
+			}
+			for _, t := range ts {
+				fmt.Println(t)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fgrepro regenerates the paper's tables and figures.
+
+usage:
+  fgrepro [flags] list
+  fgrepro [flags] run <id>...
+  fgrepro [flags] all
+
+flags:
+  -seed N   random seed (default 1)
+  -quick    reduced repeats for a fast pass
+`)
+}

@@ -1,0 +1,66 @@
+// Command handoffsim reruns the §3.3 driving experiment: the 10 km route
+// under the five UE band configurations, printing the handoff counts and
+// the active-radio timeline of each drive (Fig. 9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"fivegsim/internal/mobility"
+)
+
+func main() {
+	runs := flag.Int("runs", 4, "drives per configuration (paper: 2x per direction)")
+	seed := flag.Int64("seed", 42, "random seed")
+	timeline := flag.Bool("timeline", false, "print the active-radio timeline per drive")
+	flag.Parse()
+
+	fmt.Printf("%-14s %6s %11s %9s %9s %9s %9s\n",
+		"config", "total", "horizontal", "vertical", "4G (s)", "NSA (s)", "SA (s)")
+	for _, cfg := range mobility.AllConfigs {
+		var tot, hor, ver int
+		var t4, tn, ts float64
+		results := mobility.DriveCampaign(cfg, *runs, *seed)
+		for _, r := range results {
+			tot += r.Total()
+			hor += r.Horizontal
+			ver += r.Vertical
+			t4 += r.TimeOn(mobility.Tech4G)
+			tn += r.TimeOn(mobility.TechNSA5G)
+			ts += r.TimeOn(mobility.TechSA5G)
+		}
+		f := float64(*runs)
+		fmt.Printf("%-14s %6.0f %11.0f %9.0f %9.0f %9.0f %9.0f\n",
+			cfg, float64(tot)/f, float64(hor)/f, float64(ver)/f, t4/f, tn/f, ts/f)
+		if *timeline {
+			printTimeline(results[0])
+		}
+	}
+	fmt.Println("\npaper counts: SA-only 13, NSA+LTE 110, LTE-only 30, SA+LTE 38, all bands 64")
+}
+
+// printTimeline renders one drive as a Fig. 9-style bar: one character per
+// 10 seconds (4 = LTE, N = NSA 5G, S = SA 5G, . = none), with | at handoffs.
+func printTimeline(r mobility.Result) {
+	const step = 10.0
+	var b strings.Builder
+	for t := 0.0; t < r.DurationS; t += step {
+		ch := '.'
+		for _, seg := range r.Segments {
+			if t >= seg.Start && t < seg.End {
+				switch seg.Tech {
+				case mobility.Tech4G:
+					ch = '4'
+				case mobility.TechNSA5G:
+					ch = 'N'
+				case mobility.TechSA5G:
+					ch = 'S'
+				}
+			}
+		}
+		b.WriteRune(ch)
+	}
+	fmt.Printf("  [%s]\n", b.String())
+}

@@ -1,0 +1,101 @@
+// Command powermodel explores the §4 radio power models: the per-band
+// throughput-power lines and crossover points (Fig. 11/26, Table 8), and a
+// quick evaluation of the TH+SS decision-tree power model on a synthetic
+// walking dataset (Fig. 15).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fivegsim/internal/device"
+	"fivegsim/internal/dtree"
+	"fivegsim/internal/power"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/stats"
+	"fivegsim/internal/trace"
+)
+
+func main() {
+	model := flag.String("device", "S20U", "UE model (PX5, S20U, S10)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var ue device.Model
+	switch *model {
+	case "PX5":
+		ue = device.PX5
+	case "S20U":
+		ue = device.S20U
+	case "S10":
+		ue = device.S10
+	default:
+		fmt.Fprintf(os.Stderr, "powermodel: unknown device %q\n", *model)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Throughput-power curves for %s (mW = base + slope * Mbps)\n\n", ue.Short())
+	fmt.Printf("%-10s %-4s %12s %10s\n", "band", "dir", "slope(mW/Mb)", "base(mW)")
+	classes := []radio.BandClass{radio.ClassLTE, radio.ClassLowBand, radio.ClassMmWave}
+	for _, cl := range classes {
+		for _, dir := range []radio.Direction{radio.Downlink, radio.Uplink} {
+			c, err := power.CurveFor(ue, cl, dir)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%-10s %-4s %12.2f %10.1f\n", cl, dir, c.SlopeMwPerMbps, c.BaseMw)
+		}
+	}
+
+	fmt.Println("\nCrossover points (mmWave vs others):")
+	for _, dir := range []radio.Direction{radio.Downlink, radio.Uplink} {
+		mm, err := power.CurveFor(ue, radio.ClassMmWave, dir)
+		if err != nil {
+			continue
+		}
+		for _, cl := range []radio.BandClass{radio.ClassLTE, radio.ClassLowBand} {
+			other, err := power.CurveFor(ue, cl, dir)
+			if err != nil {
+				continue
+			}
+			if x, ok := power.Crossover(mm, other); ok {
+				fmt.Printf("  %s: mmWave overtakes %s above %.1f Mbps\n", dir, cl, x)
+			}
+		}
+	}
+
+	// TH+SS model fit on a synthetic walking dataset.
+	fmt.Println("\nTH+SS power model on a 100-minute walking dataset:")
+	rng := rand.New(rand.NewSource(*seed))
+	var X [][]float64
+	var y []float64
+	for _, w := range trace.WalkMmWave(*seed, 6000) {
+		p, err := power.RadioPowerMw(ue, power.Activity{
+			Class: radio.ClassMmWave, DLMbps: w.DLMbps, RSRPDbm: w.RSRPDbm})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powermodel:", err)
+			os.Exit(1)
+		}
+		X = append(X, []float64{w.DLMbps, w.RSRPDbm})
+		y = append(y, p*(1+rng.NormFloat64()*0.03))
+	}
+	split := len(X) * 7 / 10
+	m, err := dtree.TrainRegressor(X[:split], y[:split], dtree.Options{MaxDepth: 10, MinLeaf: 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powermodel:", err)
+		os.Exit(1)
+	}
+	var pred, truth []float64
+	for i := split; i < len(X); i++ {
+		pred = append(pred, m.Predict(X[i]))
+		truth = append(truth, y[i])
+	}
+	mape, err := stats.MAPE(pred, truth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powermodel:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  held-out MAPE: %.1f%% (tree: %d leaves, depth %d)\n", mape, m.Leaves(), m.Depth())
+}

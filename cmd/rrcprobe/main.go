@@ -1,0 +1,83 @@
+// Command rrcprobe runs the RRC-Probe tool against one network: it sweeps
+// idle gaps, prints the RTT-versus-gap profile (the Fig. 10 scatter), and
+// reports the inferred RRC parameters (Table 7) — all without modem
+// diagnostics, as in §4.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rrcprobe"
+)
+
+func main() {
+	networkKey := flag.String("network", "tm-sa", "network (vz-mmwave, vz-lowband, vz-lte, tm-sa, tm-nsa, tm-lte)")
+	maxGap := flag.Float64("maxgap", 18, "largest idle gap to probe (s)")
+	step := flag.Float64("step", 0.5, "gap step (s)")
+	perGap := flag.Int("pergap", 25, "probes per gap")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	network, err := radio.NetworkByKey(*networkKey)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := rrcprobe.New(network, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("RRC-Probe on %s: gaps 0..%.1fs step %.1fs, %d probes/gap\n\n",
+		network, *maxGap, *step, *perGap)
+	samples := p.Run(*maxGap, *step, *perGap)
+
+	byGap := map[float64][]rrcprobe.Sample{}
+	for _, s := range samples {
+		byGap[s.IdleGapS] = append(byGap[s.IdleGapS], s)
+	}
+	gaps := make([]float64, 0, len(byGap))
+	for g := range byGap {
+		gaps = append(gaps, g)
+	}
+	sort.Float64s(gaps)
+	fmt.Println("gap(s)  minRTT(ms)  maxRTT(ms)  radio")
+	for _, g := range gaps {
+		min, max := byGap[g][0].RTTMs, byGap[g][0].RTTMs
+		radioName := byGap[g][0].Radio.String()
+		for _, s := range byGap[g] {
+			if s.RTTMs < min {
+				min = s.RTTMs
+			}
+			if s.RTTMs > max {
+				max = s.RTTMs
+			}
+		}
+		fmt.Printf("%6.1f  %10.1f  %10.1f  %s\n", g, min, max, radioName)
+	}
+
+	inf, err := rrcprobe.Infer(samples)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ninferred parameters:\n")
+	fmt.Printf("  UE-inactivity (tail) timer: %.1f s\n", inf.TailS)
+	if inf.LTETailS > 0 {
+		fmt.Printf("  LTE-only tail until:        %.1f s\n", inf.LTETailS)
+	}
+	if inf.InactiveUntilS > 0 {
+		fmt.Printf("  RRC_INACTIVE until:         %.1f s\n", inf.InactiveUntilS)
+	}
+	fmt.Printf("  idle promotion (incl. paging wait): ~%.0f ms\n", inf.PromoMs)
+	fmt.Printf("  idle promotion (paging-aligned):    %.0f ms\n", p.MeasurePromoIdle())
+	if ms, ok := p.MeasurePromo5G(); ok {
+		fmt.Printf("  5G promotion delay:                 %.0f ms\n", ms)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrcprobe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command speedtest runs the paper's Ookla-style measurement campaign
+// against a chosen server pool: latency, downlink, and uplink, single- or
+// multi-connection, reporting the 95th-percentile peak metrics (§3.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fivegsim/internal/device"
+	"fivegsim/internal/geo"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/speedtest"
+)
+
+func main() {
+	networkKey := flag.String("network", "vz-mmwave", "network (vz-mmwave, vz-lowband, vz-lte, tm-sa, tm-nsa, tm-lte)")
+	model := flag.String("device", "S20U", "UE model (PX5, S20U, S10)")
+	mode := flag.String("mode", "multiple", "connection mode (single, multiple)")
+	pool := flag.String("pool", "carrier", "server pool (carrier, minnesota, azure)")
+	repeats := flag.Int("repeats", 10, "tests per server")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	network, err := radio.NetworkByKey(*networkKey)
+	if err != nil {
+		fatal(err)
+	}
+	var ue device.Model
+	switch *model {
+	case "PX5":
+		ue = device.PX5
+	case "S20U":
+		ue = device.S20U
+	case "S10":
+		ue = device.S10
+	default:
+		fatal(fmt.Errorf("unknown device %q", *model))
+	}
+	spec, err := device.Lookup(ue)
+	if err != nil {
+		fatal(err)
+	}
+	connMode := speedtest.Multi
+	if *mode == "single" {
+		connMode = speedtest.Single
+	}
+	var reg *geo.Registry
+	switch *pool {
+	case "carrier":
+		reg = geo.NewCarrierRegistry(string(network.Carrier))
+	case "minnesota":
+		reg = geo.NewMinnesotaRegistry(string(network.Carrier))
+	case "azure":
+		reg = geo.NewAzureRegistry()
+	default:
+		fatal(fmt.Errorf("unknown pool %q", *pool))
+	}
+
+	fmt.Printf("UE %s on %s, %s connections, %d repeats/server, UE at %s\n\n",
+		spec.Model.Short(), network, connMode, *repeats, geo.Minneapolis)
+	client := speedtest.NewClient(spec, network, geo.Minneapolis.Loc, *seed)
+	for _, sum := range client.Campaign(reg.SortedByDistance(geo.Minneapolis.Loc), connMode, *repeats) {
+		fmt.Println(sum)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "speedtest:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command websim runs the §6 web-browsing study: it loads a synthetic
+// Alexa-style corpus over mmWave 5G and 4G, summarises PLT and energy, and
+// trains the M1-M5 interface-selection decision trees (Table 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fivegsim/internal/stats"
+	"fivegsim/internal/web"
+)
+
+func main() {
+	sites := flag.Int("sites", 1500, "corpus size")
+	repeats := flag.Int("repeats", 8, "loads per site per radio")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	corpus := web.GenCorpus(*sites, *seed)
+	ms, err := web.MeasureCorpus(corpus, *repeats, *seed+1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "websim:", err)
+		os.Exit(1)
+	}
+	var p4, p5, e4, e5 []float64
+	for _, m := range ms {
+		p4 = append(p4, m.PLT4G)
+		p5 = append(p5, m.PLT5G)
+		e4 = append(e4, m.Energy4GJ)
+		e5 = append(e5, m.Energy5GJ)
+	}
+	fmt.Printf("%d sites x %d loads x 2 radios (%d page loads)\n\n",
+		*sites, *repeats, *sites**repeats*2)
+	fmt.Printf("PLT    median: 4G %.2fs  5G %.2fs   p95: 4G %.2fs  5G %.2fs\n",
+		stats.Median(p4), stats.Median(p5), stats.Percentile(p4, 95), stats.Percentile(p5, 95))
+	fmt.Printf("Energy median: 4G %.2fJ  5G %.2fJ   p95: 4G %.2fJ  5G %.2fJ\n\n",
+		stats.Median(e4), stats.Median(e5), stats.Percentile(e4, 95), stats.Percentile(e5, 95))
+
+	models, err := web.TrainAll(ms, *seed+3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "websim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-4s %-22s %-5s %-5s %7s %7s %9s %8s  top factors\n",
+		"#ID", "Desired QoE", "alpha", "beta", "use 4G", "use 5G", "accuracy", "saving")
+	for _, m := range models {
+		fmt.Printf("%-4s %-22s %-5.1f %-5.1f %7d %7d %8.2f%% %7.1f%%  %v\n",
+			m.Weights.ID, m.Weights.Label, m.Weights.Alpha, m.Weights.Beta,
+			m.TestUse4G, m.TestUse5G, m.Accuracy*100, m.EnergySavingPct, m.TopFactors(3))
+	}
+}

@@ -1,0 +1,66 @@
+// Web browsing over mmWave 5G vs 4G (§6): load a synthetic Alexa-style
+// corpus on both radios, look at the PLT/energy tradeoff, and train the
+// interpretable decision trees that pick the radio per website.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fivegsim/internal/stats"
+	"fivegsim/internal/web"
+)
+
+func main() {
+	corpus := web.GenCorpus(1000, 1)
+	ms, err := web.MeasureCorpus(corpus, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The headline tradeoff: 5G is faster, 4G is cheaper.
+	var p4, p5, e4, e5 []float64
+	for _, m := range ms {
+		p4 = append(p4, m.PLT4G)
+		p5 = append(p5, m.PLT5G)
+		e4 = append(e4, m.Energy4GJ)
+		e5 = append(e5, m.Energy5GJ)
+	}
+	fmt.Printf("median PLT:    5G %.2f s  vs 4G %.2f s\n", stats.Median(p5), stats.Median(p4))
+	fmt.Printf("median energy: 5G %.2f J  vs 4G %.2f J\n\n", stats.Median(e5), stats.Median(e4))
+
+	// A small PLT penalty buys a big energy saving (Fig. 21).
+	var pens, savs []float64
+	for _, m := range ms {
+		pens = append(pens, m.PLTPenaltyPct)
+		savs = append(savs, m.EnergySavingPct)
+	}
+	fmt.Println("energy saving by PLT-penalty bucket:")
+	for _, b := range stats.Bin(pens, savs, 0, 150, 30) {
+		if len(b.Values) < 5 {
+			continue
+		}
+		fmt.Printf("  penalty %3.0f-%3.0f%%: save %.0f%% energy (%d sites)\n",
+			b.Lo, b.Hi, stats.Mean(b.Values), len(b.Values))
+	}
+
+	// Train the five utility-weighted selection models (Table 6).
+	models, err := web.TrainAll(ms, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-website radio selection (test set):")
+	for _, m := range models {
+		fmt.Printf("  %s (%s, alpha=%.1f): use 4G %d / use 5G %d, saves %.0f%% energy\n",
+			m.Weights.ID, m.Weights.Label, m.Weights.Alpha,
+			m.TestUse4G, m.TestUse5G, m.EnergySavingPct)
+	}
+
+	// The models are interpretable: show what the balanced one looks at.
+	m3, err := web.TrainSelection(ms, web.Models[2], 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nM3's deciding factors: %v\n", m3.TopFactors(3))
+	fmt.Println(m3.Tree.Describe(2))
+}

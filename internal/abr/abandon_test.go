@@ -1,0 +1,87 @@
+package abr
+
+import (
+	"math"
+	"testing"
+
+	"fivegsim/internal/trace"
+)
+
+func TestAbandonReducesStalls(t *testing.T) {
+	// The §5.3 rollback: abandoning doomed downloads trims the worst
+	// stalls across the 5G trace set.
+	v := video5G(t)
+	traces := trace.GenSet5G(30, 400, 7)
+	var base, ab float64
+	abandons := 0
+	for _, tr := range traces {
+		rb := Simulate(v, &MPC{}, tr, Options{})
+		ra := Simulate(v, &MPC{}, tr, Options{Abandon: true})
+		base += rb.StallS
+		ab += ra.StallS
+		abandons += ra.Abandons
+	}
+	if ab >= base {
+		t.Errorf("abandonment stalls %v >= baseline %v", ab, base)
+	}
+	if abandons == 0 {
+		t.Error("no abandonments triggered on mmWave traces")
+	}
+}
+
+func TestAbandonAccounting(t *testing.T) {
+	// A trace engineered to doom one top-track chunk: high bandwidth, then
+	// a cliff.
+	v := video5G(t)
+	tr := make([]float64, 400)
+	for i := range tr {
+		if i < 40 {
+			tr[i] = 600
+		} else {
+			tr[i] = 5
+		}
+	}
+	r := Simulate(v, &MPC{}, tr, Options{Abandon: true})
+	if r.Abandons == 0 {
+		t.Fatal("cliff trace triggered no abandonment")
+	}
+	if r.WastedMb <= 0 {
+		t.Error("abandonment recorded no wasted traffic")
+	}
+	// Usage covers chunk bytes plus the waste.
+	var usage, size float64
+	for _, u := range r.UsageMbps {
+		usage += u
+	}
+	for _, q := range r.Qualities {
+		size += v.ChunkMb(q)
+	}
+	if math.Abs(usage-(size+r.WastedMb)) > 1e-6*(size+r.WastedMb) {
+		t.Errorf("usage %v != chunks %v + waste %v", usage, size, r.WastedMb)
+	}
+}
+
+func TestAbandonOffByDefault(t *testing.T) {
+	v := video5G(t)
+	r := Simulate(v, &MPC{}, trace.Gen5GmmWave(3, 400), Options{})
+	if r.Abandons != 0 || r.WastedMb != 0 {
+		t.Error("abandonment ran without being enabled")
+	}
+}
+
+func TestAbandonNeverOnLowestTrack(t *testing.T) {
+	// Starvation on the lowest track cannot be abandoned away; the player
+	// must not spin.
+	v := video5G(t)
+	tr := make([]float64, 3000)
+	for i := range tr {
+		tr[i] = 2 // below the lowest track
+	}
+	r := Simulate(v, &RB{}, tr, Options{Abandon: true})
+	if r.Abandons != 0 {
+		t.Errorf("abandoned %d chunks already at the lowest track", r.Abandons)
+	}
+	if len(r.Qualities) != v.NumChunks {
+		t.Error("playback did not complete")
+	}
+}

@@ -1,0 +1,353 @@
+// Package abr reproduces the paper's adaptive-bitrate video streaming
+// testbed (§5): a chunk-level DASH player simulator driven by recorded
+// throughput traces, seven ABR algorithms spanning the four families the
+// paper evaluates (buffer-based: BBA, BOLA; throughput-based: RB, FESTIVE;
+// control-theoretic: FastMPC, RobustMPC; learning-based: Pensieve), plug-in
+// throughput predictors (harmonic mean, GBDT, oracle), and the 5G-aware
+// 4G/5G interface-selection scheme of §5.4.
+//
+// The player model follows the standard trace-driven methodology (tc-shaped
+// dash.js in the paper): chunks download sequentially at the trace's
+// per-second bandwidth, the playback buffer drains in real time, and QoE is
+// the MPC-style linear metric (bitrate minus rebuffer and smoothness
+// penalties).
+package abr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Video describes an encoded video: equal-length chunks, a bitrate ladder
+// ascending by ~1.5x between adjacent tracks (§5.1).
+type Video struct {
+	// ChunkS is the chunk duration in seconds.
+	ChunkS float64
+	// BitratesMbps is the ladder in ascending order.
+	BitratesMbps []float64
+	// NumChunks is the video length in chunks.
+	NumChunks int
+}
+
+// LadderRatio is the encoded bitrate ratio between adjacent tracks.
+const LadderRatio = 1.5
+
+// NewVideo builds a video of durS seconds with the given chunk length and
+// number of tracks, the top track at topMbps and each lower track 1.5x
+// smaller — the §5.1 encoding (top track = median network throughput:
+// 160 Mbps for 5G, 20 Mbps for 4G).
+func NewVideo(durS, chunkS, topMbps float64, tracks int) (Video, error) {
+	if durS <= 0 || chunkS <= 0 || topMbps <= 0 || tracks < 2 {
+		return Video{}, fmt.Errorf("abr: invalid video spec dur=%v chunk=%v top=%v tracks=%d",
+			durS, chunkS, topMbps, tracks)
+	}
+	rates := make([]float64, tracks)
+	r := topMbps
+	for i := tracks - 1; i >= 0; i-- {
+		rates[i] = r
+		r /= LadderRatio
+	}
+	return Video{
+		ChunkS:       chunkS,
+		BitratesMbps: rates,
+		NumChunks:    int(math.Ceil(durS / chunkS)),
+	}, nil
+}
+
+// Top returns the highest bitrate.
+func (v Video) Top() float64 { return v.BitratesMbps[len(v.BitratesMbps)-1] }
+
+// Tracks returns the ladder size.
+func (v Video) Tracks() int { return len(v.BitratesMbps) }
+
+// ChunkMb returns the size in megabits of a chunk at track q.
+func (v Video) ChunkMb(q int) float64 { return v.BitratesMbps[q] * v.ChunkS }
+
+// Context is the information an ABR algorithm sees when choosing the next
+// chunk's track — exactly the observables a dash.js rate controller has.
+type Context struct {
+	Video      Video
+	ChunkIndex int
+	// BufferS is the current playback buffer level.
+	BufferS float64
+	// LastQuality is the track index of the previous chunk.
+	LastQuality int
+	// PastChunkMbps holds the measured throughput of each completed chunk
+	// download (size / download time).
+	PastChunkMbps []float64
+	// PastChunkTimeS holds the download durations.
+	PastChunkTimeS []float64
+	// Oracle, when non-nil, returns the true mean bandwidth over the next
+	// h seconds of the trace (only truthMPC uses it).
+	Oracle func(horizonS float64) float64
+}
+
+// Algorithm chooses the next chunk's track.
+type Algorithm interface {
+	Name() string
+	// Select returns the track index for the chunk described by ctx.
+	Select(ctx *Context) int
+	// Reset clears per-session state before a new playback.
+	Reset()
+}
+
+// Options configures a playback simulation.
+type Options struct {
+	// MaxBufferS caps the playback buffer; 0 means 20 s (dash.js default
+	// ballpark).
+	MaxBufferS float64
+	// Abandon enables mid-download chunk abandonment: when a download is
+	// going to outlive the buffer, the player aborts it and refetches the
+	// chunk at the lowest track. This is the rollback mechanism §5.3 notes
+	// is missing from chunk-granular ABR ("once made, such decisions
+	// cannot be rolled back").
+	Abandon bool
+	// QoE rebuffer penalty multiplier; 0 means the top bitrate (the
+	// MPC paper's QoE_lin).
+	RebufPenalty float64
+	// SmoothPenalty weighs bitrate switches; 0 means 1.
+	SmoothPenalty float64
+}
+
+func (o Options) withDefaults(v Video) Options {
+	if o.MaxBufferS == 0 {
+		o.MaxBufferS = 20
+	}
+	if o.RebufPenalty == 0 {
+		o.RebufPenalty = v.Top()
+	}
+	if o.SmoothPenalty == 0 {
+		o.SmoothPenalty = 1
+	}
+	return o
+}
+
+// Result summarises one playback.
+type Result struct {
+	Algorithm string
+	// Qualities is the chosen track per chunk.
+	Qualities []int
+	// AvgBitrateMbps is the mean selected bitrate.
+	AvgBitrateMbps float64
+	// NormBitrate is AvgBitrate / top track.
+	NormBitrate float64
+	// StallS is the total rebuffering time (excluding startup).
+	StallS float64
+	// StallPct is stall time as a percentage of playback wall time.
+	StallPct float64
+	// StartupS is the time to first frame.
+	StartupS float64
+	// Switches counts track changes.
+	Switches int
+	// QoE is the MPC-style linear QoE total.
+	QoE float64
+	// Abandons counts mid-download chunk abandonments (Options.Abandon).
+	Abandons int
+	// WastedMb is the traffic discarded by abandonments.
+	WastedMb float64
+	// DownloadS is the per-chunk download time.
+	DownloadS []float64
+	// BufferAtSelectS is the buffer level when each chunk was requested.
+	BufferAtSelectS []float64
+	// UsageMbps is the per-second downlink usage (for energy accounting).
+	UsageMbps []float64
+	// DurationS is the wall-clock session length.
+	DurationS float64
+}
+
+// bwAt returns the trace bandwidth during second s, cycling if playback
+// outlasts the trace.
+func bwAt(tr []float64, s int) float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	return tr[s%len(tr)]
+}
+
+// download walks the trace from time t, transferring sizeMb; it returns the
+// completion time and records per-second usage.
+func download(tr []float64, t, sizeMb float64, usage *[]float64) float64 {
+	remaining := sizeMb
+	const epsRate = 0.01 // a dead link still trickles (retransmissions)
+	for remaining > 1e-12 {
+		s := int(t)
+		rate := bwAt(tr, s)
+		if rate < epsRate {
+			rate = epsRate
+		}
+		dt := float64(s+1) - t
+		can := rate * dt
+		if can >= remaining {
+			t += remaining / rate
+			addUsage(usage, s, remaining)
+			remaining = 0
+		} else {
+			addUsage(usage, s, can)
+			remaining -= can
+			t = float64(s + 1)
+		}
+	}
+	return t
+}
+
+func addUsage(usage *[]float64, sec int, mb float64) {
+	if usage == nil {
+		return
+	}
+	for len(*usage) <= sec {
+		*usage = append(*usage, 0)
+	}
+	(*usage)[sec] += mb
+}
+
+// downloadUntil transfers from time t until the deadline, recording usage,
+// and returns the megabits moved (for the wasted bytes of an abandoned
+// chunk).
+func downloadUntil(tr []float64, t, deadline float64, usage *[]float64) float64 {
+	moved := 0.0
+	for t < deadline-1e-12 {
+		s := int(t)
+		rate := bwAt(tr, s)
+		if rate < 0.01 {
+			rate = 0.01
+		}
+		next := math.Min(float64(s+1), deadline)
+		mb := rate * (next - t)
+		addUsage(usage, s, mb)
+		moved += mb
+		t = next
+	}
+	return moved
+}
+
+// Simulate plays the whole video through algo over the bandwidth trace
+// (Mbps at 1-second granularity) and returns the session metrics.
+func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
+	opt = opt.withDefaults(v)
+	algo.Reset()
+	res := Result{Algorithm: algo.Name()}
+	ctx := &Context{Video: v}
+	t := 0.0
+	buffer := 0.0
+	last := 0
+	for i := 0; i < v.NumChunks; i++ {
+		ctx.ChunkIndex = i
+		ctx.BufferS = buffer
+		ctx.LastQuality = last
+		res.BufferAtSelectS = append(res.BufferAtSelectS, buffer)
+		tt := t
+		ctx.Oracle = func(h float64) float64 {
+			if h <= 0 {
+				return bwAt(tr, int(tt))
+			}
+			s := 0.0
+			for k := 0.0; k < h; k++ {
+				s += bwAt(tr, int(tt+k))
+			}
+			return s / h
+		}
+		q := algo.Select(ctx)
+		if q < 0 {
+			q = 0
+		}
+		if q >= v.Tracks() {
+			q = v.Tracks() - 1
+		}
+		size := v.ChunkMb(q)
+		// Chunk abandonment: if this download will outlive the buffer and
+		// a cheaper track exists, abort when the buffer runs dry and
+		// refetch at the lowest track (the §5.3 rollback).
+		if opt.Abandon && i > 0 && q > 0 {
+			tentative := download(tr, t, size, nil)
+			if tentative-t > buffer+0.25 {
+				deadline := t + buffer*0.9 // the player aborts just before starvation
+				res.WastedMb += downloadUntil(tr, t, deadline, &res.UsageMbps)
+				res.Abandons++
+				q = 0
+				size = v.ChunkMb(q)
+				buffer -= deadline - t
+				if buffer < 0 {
+					buffer = 0
+				}
+				t = deadline
+			}
+		}
+		done := download(tr, t, size, &res.UsageMbps)
+		dl := done - t
+		if i == 0 {
+			res.StartupS = dl
+			buffer = v.ChunkS
+		} else {
+			if dl > buffer {
+				res.StallS += dl - buffer
+				buffer = 0
+			} else {
+				buffer -= dl
+			}
+			buffer += v.ChunkS
+		}
+		t = done
+		// Buffer cap: the player pauses requests until there is room.
+		if buffer > opt.MaxBufferS {
+			wait := buffer - opt.MaxBufferS
+			t += wait
+			buffer = opt.MaxBufferS
+		}
+
+		ctx.PastChunkMbps = append(ctx.PastChunkMbps, size/dl)
+		ctx.PastChunkTimeS = append(ctx.PastChunkTimeS, dl)
+		res.Qualities = append(res.Qualities, q)
+		res.DownloadS = append(res.DownloadS, dl)
+		res.AvgBitrateMbps += v.BitratesMbps[q]
+		res.QoE += v.BitratesMbps[q]
+		if i > 0 {
+			diff := math.Abs(v.BitratesMbps[q] - v.BitratesMbps[last])
+			res.QoE -= opt.SmoothPenalty * diff
+			if q != last {
+				res.Switches++
+			}
+		}
+		last = q
+	}
+	res.QoE -= opt.RebufPenalty * res.StallS
+	res.AvgBitrateMbps /= float64(len(res.Qualities))
+	res.NormBitrate = res.AvgBitrateMbps / v.Top()
+	res.DurationS = t + buffer // session ends when the buffer drains
+	wall := float64(v.NumChunks)*v.ChunkS + res.StallS
+	res.StallPct = res.StallS / wall * 100
+	return res
+}
+
+// Aggregate averages results across traces (the per-algorithm points of
+// Fig. 17).
+type Aggregate struct {
+	Algorithm    string
+	NormBitrate  float64
+	StallPct     float64
+	MeanStallS   float64
+	MeanQoE      float64
+	MeanSwitches float64
+}
+
+// Evaluate runs algo over every trace and averages the metrics.
+func Evaluate(v Video, algo Algorithm, traces [][]float64, opt Options) Aggregate {
+	agg := Aggregate{Algorithm: algo.Name()}
+	if len(traces) == 0 {
+		return agg
+	}
+	for _, tr := range traces {
+		r := Simulate(v, algo, tr, opt)
+		agg.NormBitrate += r.NormBitrate
+		agg.StallPct += r.StallPct
+		agg.MeanStallS += r.StallS
+		agg.MeanQoE += r.QoE
+		agg.MeanSwitches += float64(r.Switches)
+	}
+	n := float64(len(traces))
+	agg.NormBitrate /= n
+	agg.StallPct /= n
+	agg.MeanStallS /= n
+	agg.MeanQoE /= n
+	agg.MeanSwitches /= n
+	return agg
+}

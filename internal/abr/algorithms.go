@@ -1,0 +1,203 @@
+package abr
+
+import (
+	"math"
+
+	"fivegsim/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Buffer-based: BBA (Huang et al., SIGCOMM'14)
+
+// BBA maps the buffer level linearly onto the bitrate ladder between a
+// reservoir and a cushion, ignoring throughput estimates entirely.
+type BBA struct {
+	// ReservoirS and CushionS bound the linear mapping region; zero
+	// values default to 5 s and 12 s (sized to the 20 s player buffer).
+	ReservoirS float64
+	CushionS   float64
+}
+
+// Name implements Algorithm.
+func (b *BBA) Name() string { return "BBA" }
+
+// Reset implements Algorithm.
+func (b *BBA) Reset() {}
+
+// Select implements Algorithm.
+func (b *BBA) Select(ctx *Context) int {
+	res, cus := b.ReservoirS, b.CushionS
+	if res == 0 {
+		res = 5
+	}
+	if cus == 0 {
+		cus = 12
+	}
+	v := ctx.Video
+	if ctx.BufferS <= res {
+		return 0
+	}
+	if ctx.BufferS >= res+cus {
+		return v.Tracks() - 1
+	}
+	frac := (ctx.BufferS - res) / cus
+	q := int(frac * float64(v.Tracks()-1))
+	if q >= v.Tracks() {
+		q = v.Tracks() - 1
+	}
+	return q
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-based: BOLA (Spiteri et al., INFOCOM'16)
+
+// BOLA chooses the track maximising a Lyapunov utility-per-byte score given
+// the current buffer occupancy.
+type BOLA struct {
+	// GP is the playback-utility weight (gamma*p); zero defaults to 5.
+	GP float64
+	// MaxBufferS must match the player's cap; zero defaults to 20.
+	MaxBufferS float64
+}
+
+// Name implements Algorithm.
+func (b *BOLA) Name() string { return "BOLA" }
+
+// Reset implements Algorithm.
+func (b *BOLA) Reset() {}
+
+// Select implements Algorithm.
+func (b *BOLA) Select(ctx *Context) int {
+	gp := b.GP
+	if gp == 0 {
+		gp = 5
+	}
+	maxBuf := b.MaxBufferS
+	if maxBuf == 0 {
+		maxBuf = 20
+	}
+	v := ctx.Video
+	q := ctx.BufferS / v.ChunkS // buffer in chunks
+	// Utilities: v_m = ln(size_m / size_0).
+	top := math.Log(v.BitratesMbps[v.Tracks()-1] / v.BitratesMbps[0])
+	V := (maxBuf/v.ChunkS - 1) / (top + gp)
+	best, bestScore := 0, math.Inf(-1)
+	for m := 0; m < v.Tracks(); m++ {
+		util := math.Log(v.BitratesMbps[m] / v.BitratesMbps[0])
+		score := (V*(util+gp) - q) / v.BitratesMbps[m]
+		if score > bestScore {
+			bestScore = score
+			best = m
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Throughput-based: simple rate-based (RB)
+
+// RB picks the highest track below the harmonic mean of the last five chunk
+// throughputs.
+type RB struct {
+	// Window is the history length; zero defaults to 5.
+	Window int
+	// Safety scales the estimate; zero defaults to 1.0.
+	Safety float64
+}
+
+// Name implements Algorithm.
+func (r *RB) Name() string { return "RB" }
+
+// Reset implements Algorithm.
+func (r *RB) Reset() {}
+
+// Select implements Algorithm.
+func (r *RB) Select(ctx *Context) int {
+	w := r.Window
+	if w == 0 {
+		w = 5
+	}
+	safety := r.Safety
+	if safety == 0 {
+		safety = 1.0
+	}
+	past := ctx.PastChunkMbps
+	if len(past) == 0 {
+		return 0
+	}
+	if len(past) > w {
+		past = past[len(past)-w:]
+	}
+	pred := stats.HarmonicMean(past) * safety
+	return highestBelow(ctx.Video, pred)
+}
+
+// highestBelow returns the highest track whose bitrate fits within rate.
+func highestBelow(v Video, rate float64) int {
+	q := 0
+	for m, b := range v.BitratesMbps {
+		if b <= rate {
+			q = m
+		}
+	}
+	return q
+}
+
+// ---------------------------------------------------------------------------
+// Throughput-based: FESTIVE (Jiang et al., CoNEXT'12)
+
+// FESTIVE combines a long harmonic-mean window with gradual, stability-
+// biased switching: it moves at most one ladder step at a time and only
+// steps up after several consecutive chunks support the higher rate.
+type FESTIVE struct {
+	// Window is the throughput history; zero defaults to 20.
+	Window int
+	// UpCount is how many consecutive supporting chunks are needed before
+	// stepping up; zero defaults to 2.
+	UpCount int
+
+	upStreak int
+}
+
+// Name implements Algorithm.
+func (f *FESTIVE) Name() string { return "FESTIVE" }
+
+// Reset implements Algorithm.
+func (f *FESTIVE) Reset() { f.upStreak = 0 }
+
+// Select implements Algorithm.
+func (f *FESTIVE) Select(ctx *Context) int {
+	w := f.Window
+	if w == 0 {
+		w = 20
+	}
+	upN := f.UpCount
+	if upN == 0 {
+		upN = 2
+	}
+	past := ctx.PastChunkMbps
+	if len(past) == 0 {
+		return 0
+	}
+	if len(past) > w {
+		past = past[len(past)-w:]
+	}
+	pred := stats.HarmonicMean(past)
+	target := highestBelow(ctx.Video, pred*0.85)
+	cur := ctx.LastQuality
+	switch {
+	case target > cur:
+		f.upStreak++
+		if f.upStreak >= upN {
+			f.upStreak = 0
+			return cur + 1
+		}
+		return cur
+	case target < cur:
+		f.upStreak = 0
+		return cur - 1 // gradual down, one level per chunk
+	default:
+		f.upStreak = 0
+		return cur
+	}
+}

@@ -1,0 +1,338 @@
+package abr
+
+import (
+	"math"
+
+	"fivegsim/internal/dtree"
+	"fivegsim/internal/stats"
+)
+
+// Predictor estimates the throughput available for the next chunk from the
+// history of chunk-level throughputs. Implementations: harmonic mean (the
+// fastMPC default), a Lumos5G-style GBDT, and the ground-truth oracle.
+type Predictor interface {
+	Name() string
+	Predict(ctx *Context) float64
+}
+
+// HarmonicPredictor is the classic hmMPC estimator: the harmonic mean of
+// the last Window chunk throughputs.
+type HarmonicPredictor struct {
+	// Window is the history length; zero defaults to 5.
+	Window int
+}
+
+// Name implements Predictor.
+func (h *HarmonicPredictor) Name() string { return "hm" }
+
+// Predict implements Predictor.
+func (h *HarmonicPredictor) Predict(ctx *Context) float64 {
+	w := h.Window
+	if w == 0 {
+		w = 5
+	}
+	past := ctx.PastChunkMbps
+	if len(past) == 0 {
+		return ctx.Video.BitratesMbps[0]
+	}
+	if len(past) > w {
+		past = past[len(past)-w:]
+	}
+	return stats.HarmonicMean(past)
+}
+
+// OraclePredictor returns the true mean bandwidth over the next chunk
+// duration — the truthMPC upper bound of Fig. 18a.
+type OraclePredictor struct{}
+
+// Name implements Predictor.
+func (o *OraclePredictor) Name() string { return "truth" }
+
+// Predict implements Predictor.
+func (o *OraclePredictor) Predict(ctx *Context) float64 {
+	if ctx.Oracle == nil {
+		return ctx.Video.BitratesMbps[0]
+	}
+	// Look ahead roughly one chunk download.
+	return ctx.Oracle(ctx.Video.ChunkS)
+}
+
+// GBDTPredictor is the MPC_GDBT predictor of §5.3 (after Lumos5G): a
+// gradient-boosted tree over the recent throughput history, trained offline
+// on mmWave traces.
+type GBDTPredictor struct {
+	model *dtree.GBDT
+	// Lags is the feature window; set at training time.
+	Lags int
+
+	ema float64 // per-session smoothed estimate
+}
+
+// Reset clears per-session smoothing state (called via MPC.Reset).
+func (g *GBDTPredictor) Reset() { g.ema = 0 }
+
+// Name implements Predictor.
+func (g *GBDTPredictor) Name() string { return "gbdt" }
+
+// gbdtFeatures assembles the lag vector (most recent last), padding the
+// left edge with the oldest known value.
+func gbdtFeatures(past []float64, lags int, fallback float64) []float64 {
+	x := make([]float64, lags)
+	for i := 0; i < lags; i++ {
+		idx := len(past) - lags + i
+		switch {
+		case idx >= 0:
+			x[i] = past[idx]
+		case len(past) > 0:
+			x[i] = past[0]
+		default:
+			x[i] = fallback
+		}
+	}
+	return x
+}
+
+// Predict implements Predictor. The tree forecast (a dip-sensitive floor
+// estimate) is combined with the harmonic mean: the harmonic mean caps the
+// estimate in steady conditions (keeping decisions smooth), while the tree
+// pulls it down ahead of dips it recognises from the recent trend.
+func (g *GBDTPredictor) Predict(ctx *Context) float64 {
+	hm := (&HarmonicPredictor{}).Predict(ctx)
+	if g.model == nil {
+		return hm
+	}
+	x := gbdtFeatures(ctx.PastChunkMbps, g.Lags, ctx.Video.BitratesMbps[0])
+	// The floor forecast is debiased upward for steady conditions (where
+	// min ~= mean - 0.8 sd) and capped by the harmonic mean.
+	p := g.model.Predict(x) * 1.45
+	if p > hm {
+		p = hm
+	}
+	if p < 0.1 {
+		p = 0.1
+	}
+	// Exponential smoothing damps per-chunk forecast noise (which would
+	// otherwise churn MPC's decisions) while still responding to a dip
+	// within a chunk.
+	if g.ema == 0 {
+		g.ema = p
+	} else {
+		g.ema = 0.5*g.ema + 0.5*p
+	}
+	if p < g.ema {
+		return p // react to drops immediately, smooth only recoveries
+	}
+	return g.ema
+}
+
+// TrainGBDTPredictor fits the GBDT on throughput traces aggregated to the
+// observation granularity of the ABR client (aggS seconds, the chunk
+// length): every position of every aggregated trace becomes a
+// (lagged window -> next interval) sample.
+func TrainGBDTPredictor(traces [][]float64, lags, aggS int, seed int64) (*GBDTPredictor, error) {
+	if lags <= 0 {
+		lags = 8
+	}
+	if aggS <= 0 {
+		aggS = 1
+	}
+	var X [][]float64
+	var y []float64
+	for _, tr := range traces {
+		agg := aggregate(tr, aggS)
+		low := aggregateMin(tr, aggS)
+		for t := lags; t < len(agg) && t < len(low); t++ {
+			X = append(X, append([]float64(nil), agg[t-lags:t]...))
+			// Predict the *floor* of the next interval, not its mean:
+			// stalls are caused by throughput minima, and a predictor
+			// that anticipates dips is what lets MPC back off in time.
+			y = append(y, low[t])
+		}
+	}
+	m, err := dtree.TrainGBDT(X, y, dtree.GBDTOptions{
+		Trees: 60, LearningRate: 0.15,
+		Tree: dtree.Options{MaxDepth: 4, MinLeaf: 20},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GBDTPredictor{model: m, Lags: lags}, nil
+}
+
+// aggregate reduces a per-second trace to means over w-second windows.
+func aggregate(tr []float64, w int) []float64 {
+	if w <= 1 {
+		return tr
+	}
+	out := make([]float64, 0, len(tr)/w)
+	for i := 0; i+w <= len(tr); i += w {
+		s := 0.0
+		for _, v := range tr[i : i+w] {
+			s += v
+		}
+		out = append(out, s/float64(w))
+	}
+	return out
+}
+
+// aggregateMin reduces a per-second trace to minima over w-second windows.
+func aggregateMin(tr []float64, w int) []float64 {
+	if w <= 1 {
+		return tr
+	}
+	out := make([]float64, 0, len(tr)/w)
+	for i := 0; i+w <= len(tr); i += w {
+		m := tr[i]
+		for _, v := range tr[i+1 : i+w] {
+			if v < m {
+				m = v
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// MPC implements FastMPC/RobustMPC (Yin et al., SIGCOMM'15): it enumerates
+// all track sequences over a short horizon, simulates the buffer evolution
+// under the predicted throughput, and picks the first step of the sequence
+// maximising the linear QoE.
+type MPC struct {
+	// Label distinguishes fastMPC/robustMPC in outputs.
+	Label string
+	// Pred supplies throughput estimates; nil defaults to harmonic mean.
+	Pred Predictor
+	// Robust applies RobustMPC's error discount: the prediction is divided
+	// by (1 + max recent prediction error).
+	Robust bool
+	// Horizon is the lookahead in chunks; zero defaults to 5.
+	Horizon int
+	// RebufPenalty and SmoothPenalty mirror the player's QoE weights;
+	// zero RebufPenalty means the video's top bitrate.
+	RebufPenalty  float64
+	SmoothPenalty float64
+
+	predErrs []float64 // recent relative prediction errors (Robust)
+	lastPred float64
+}
+
+// Name implements Algorithm.
+func (m *MPC) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	if m.Robust {
+		return "robustMPC"
+	}
+	return "fastMPC"
+}
+
+// Reset implements Algorithm.
+func (m *MPC) Reset() {
+	m.predErrs = nil
+	m.lastPred = 0
+	if r, ok := m.Pred.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// Select implements Algorithm.
+func (m *MPC) Select(ctx *Context) int {
+	h := m.Horizon
+	if h == 0 {
+		h = 5
+	}
+	if left := ctx.Video.NumChunks - ctx.ChunkIndex; h > left {
+		h = left
+	}
+	pred := m.predictor().Predict(ctx)
+	// Track prediction error against the realised chunk throughput.
+	if m.lastPred > 0 && len(ctx.PastChunkMbps) > 0 {
+		actual := ctx.PastChunkMbps[len(ctx.PastChunkMbps)-1]
+		if actual > 0 {
+			err := math.Abs(m.lastPred-actual) / actual
+			m.predErrs = append(m.predErrs, err)
+			if len(m.predErrs) > 5 {
+				m.predErrs = m.predErrs[1:]
+			}
+		}
+	}
+	m.lastPred = pred
+	if m.Robust {
+		// RobustMPC discounts by the recent prediction error; the error is
+		// clamped so a single wild mmWave swing does not zero the estimate.
+		e := stats.Max(m.predErrs)
+		if e > 1 {
+			e = 1
+		}
+		pred /= 1 + e
+	}
+	if pred <= 0 {
+		pred = 0.1
+	}
+
+	v := ctx.Video
+	rebuf := m.RebufPenalty
+	if rebuf == 0 {
+		rebuf = v.Top()
+	}
+	smooth := m.SmoothPenalty
+	if smooth == 0 {
+		smooth = 1
+	}
+
+	bestFirst, bestQoE := 0, math.Inf(-1)
+	tracks := v.Tracks()
+	seq := make([]int, h)
+	var walk func(step int, buffer float64, last int, qoe float64)
+	walk = func(step int, buffer float64, last int, qoe float64) {
+		if qoe+upperBound(v, h-step) <= bestQoE {
+			return // cannot beat the incumbent
+		}
+		if step == h {
+			if qoe > bestQoE {
+				bestQoE = qoe
+				bestFirst = seq[0]
+			}
+			return
+		}
+		for q := 0; q < tracks; q++ {
+			seq[step] = q
+			dl := v.ChunkMb(q) / pred
+			stall := 0.0
+			b := buffer
+			if dl > b {
+				stall = dl - b
+				b = 0
+			} else {
+				b -= dl
+			}
+			b += v.ChunkS
+			stepQoE := v.BitratesMbps[q] - rebuf*stall
+			if !(step == 0 && ctx.ChunkIndex == 0) {
+				prev := last
+				if step == 0 {
+					prev = ctx.LastQuality
+				}
+				stepQoE -= smooth * math.Abs(v.BitratesMbps[q]-v.BitratesMbps[prev])
+			}
+			walk(step+1, b, q, qoe+stepQoE)
+		}
+	}
+	walk(0, ctx.BufferS, ctx.LastQuality, 0)
+	return bestFirst
+}
+
+// upperBound is an admissible optimistic bound on the QoE obtainable in the
+// remaining steps (top bitrate, no stalls, no switches), used to prune the
+// enumeration.
+func upperBound(v Video, steps int) float64 {
+	return float64(steps) * v.Top()
+}
+
+func (m *MPC) predictor() Predictor {
+	if m.Pred != nil {
+		return m.Pred
+	}
+	return &HarmonicPredictor{}
+}

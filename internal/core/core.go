@@ -1,0 +1,119 @@
+// Package core is the public facade of the 5G measurement-study
+// reproduction: a Platform ties one UE model and one network deployment to
+// every measurement tool of the paper — Speedtest-style performance tests,
+// RRC-Probe state inference, power/energy models, the driving handoff
+// experiment, trace-driven ABR video streaming, and web page loads.
+//
+// Typical use:
+//
+//	p, err := core.NewPlatform(device.S20U, radio.VerizonNSAmmWave, 42)
+//	...
+//	sum := p.Speedtest(geo.Minneapolis.Loc, server, speedtest.Multi, 10)
+//	inf, _, err := p.ProbeRRC(16, 0.5, 25)
+//
+// Every operation is deterministic given the Platform seed, which is what
+// makes the reproduction's experiments (internal/experiments) exactly
+// repeatable.
+package core
+
+import (
+	"fmt"
+
+	"fivegsim/internal/abr"
+	"fivegsim/internal/device"
+	"fivegsim/internal/geo"
+	"fivegsim/internal/mobility"
+	"fivegsim/internal/power"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rrc"
+	"fivegsim/internal/rrcprobe"
+	"fivegsim/internal/speedtest"
+	"fivegsim/internal/web"
+)
+
+// Platform is one UE attached to one network deployment, with a seed that
+// drives all randomness.
+type Platform struct {
+	UE      device.Spec
+	Network radio.Network
+	RRC     rrc.Config
+	Seed    int64
+}
+
+// NewPlatform validates the device/network pair and assembles a platform.
+func NewPlatform(model device.Model, network radio.Network, seed int64) (*Platform, error) {
+	ue, err := device.Lookup(model)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if network.Mode == radio.ModeSA && !ue.SupportsSA {
+		return nil, fmt.Errorf("core: %s cannot attach to SA 5G (only the S20U with T-Mobile firmware can)", model.Short())
+	}
+	cfg, err := rrc.ConfigFor(network)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Platform{UE: ue, Network: network, RRC: cfg, Seed: seed}, nil
+}
+
+// Speedtest runs repeated Ookla-style tests from loc against a server and
+// returns the p95 summary (the paper's §3 methodology).
+func (p *Platform) Speedtest(loc geo.Point, s geo.Server, mode speedtest.ConnMode, repeats int) speedtest.Summary {
+	c := speedtest.NewClient(p.UE, p.Network, loc, p.Seed)
+	return c.Repeat(s, mode, repeats)
+}
+
+// SpeedtestCampaign measures a whole server pool.
+func (p *Platform) SpeedtestCampaign(loc geo.Point, servers []geo.Server, mode speedtest.ConnMode, repeats int) []speedtest.Summary {
+	c := speedtest.NewClient(p.UE, p.Network, loc, p.Seed)
+	return c.Campaign(servers, mode, repeats)
+}
+
+// ProbeRRC sweeps RRC-Probe over idle gaps up to maxGapS and infers the
+// network's RRC parameters (§4.2).
+func (p *Platform) ProbeRRC(maxGapS, stepS float64, perGap int) (rrcprobe.Inference, []rrcprobe.Sample, error) {
+	pr, err := rrcprobe.New(p.Network, p.Seed)
+	if err != nil {
+		return rrcprobe.Inference{}, nil, err
+	}
+	samples := pr.Run(maxGapS, stepS, perGap)
+	inf, err := rrcprobe.Infer(samples)
+	return inf, samples, err
+}
+
+// TransferPowerMw returns the radio power when transferring at the given
+// rates with the given signal strength on this platform's band (§4.3-4.4).
+func (p *Platform) TransferPowerMw(dlMbps, ulMbps, rsrpDbm float64) (float64, error) {
+	return power.RadioPowerMw(p.UE.Model, power.Activity{
+		Class: p.Network.Band.Class, DLMbps: dlMbps, ULMbps: ulMbps, RSRPDbm: rsrpDbm})
+}
+
+// EnergyJ integrates per-second activity samples into radio energy using
+// this platform's power curves.
+func (p *Platform) EnergyJ(samples []power.Activity) (float64, error) {
+	return power.EnergyJ(p.UE.Model, p.Network.Band.Class, samples)
+}
+
+// StreamVideo plays a video through an ABR algorithm over a bandwidth
+// trace (§5).
+func (p *Platform) StreamVideo(v abr.Video, algo abr.Algorithm, trace []float64) abr.Result {
+	return abr.Simulate(v, algo, trace, abr.Options{})
+}
+
+// LoadWebPage loads a website over both the 5G and 4G profiles and returns
+// the pair (§6). The platform seed drives the per-load variation.
+func (p *Platform) LoadWebPage(site web.Website) (fiveG, fourG web.PageLoad, err error) {
+	ms, err := web.MeasureCorpus([]web.Website{site}, 1, p.Seed)
+	if err != nil {
+		return web.PageLoad{}, web.PageLoad{}, err
+	}
+	m := ms[0]
+	fiveG = web.PageLoad{Site: site, Profile: "5G", PLTSeconds: m.PLT5G, EnergyJ: m.Energy5GJ}
+	fourG = web.PageLoad{Site: site, Profile: "4G", PLTSeconds: m.PLT4G, EnergyJ: m.Energy4GJ}
+	return fiveG, fourG, nil
+}
+
+// Drive runs the §3.3 handoff experiment once under a band configuration.
+func (p *Platform) Drive(cfg mobility.BandConfig) mobility.Result {
+	return mobility.Drive(cfg, p.Seed)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fivegsim/internal/abr"
+	"fivegsim/internal/device"
+	"fivegsim/internal/geo"
+	"fivegsim/internal/mobility"
+	"fivegsim/internal/power"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/speedtest"
+	"fivegsim/internal/trace"
+	"fivegsim/internal/web"
+)
+
+func platform(t *testing.T, m device.Model, n radio.Network) *Platform {
+	t.Helper()
+	p, err := NewPlatform(m, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlatformValidation(t *testing.T) {
+	if _, err := NewPlatform(device.Model("iPhone"), radio.VerizonLTE, 1); err == nil {
+		t.Error("unknown device did not error")
+	}
+	// Only the S20U supports SA.
+	if _, err := NewPlatform(device.PX5, radio.TMobileSALowBand, 1); err == nil {
+		t.Error("PX5 on SA did not error")
+	}
+	if _, err := NewPlatform(device.S20U, radio.TMobileSALowBand, 1); err != nil {
+		t.Errorf("S20U on SA errored: %v", err)
+	}
+	if _, err := NewPlatform(device.S20U, radio.Network{Carrier: "X", Band: radio.BandN41}, 1); err == nil {
+		t.Error("unknown network did not error")
+	}
+}
+
+func TestSpeedtestViaPlatform(t *testing.T) {
+	p := platform(t, device.S20U, radio.VerizonNSAmmWave)
+	reg := geo.NewCarrierRegistry("Verizon")
+	near, ok := reg.Nearest(geo.Minneapolis.Loc, geo.HostCarrier)
+	if !ok {
+		t.Fatal("no carrier server")
+	}
+	sum := p.Speedtest(geo.Minneapolis.Loc, near, speedtest.Multi, 3)
+	if sum.DLp95Mbps < 3000 {
+		t.Errorf("mmWave multi-conn DL = %v", sum.DLp95Mbps)
+	}
+	sums := p.SpeedtestCampaign(geo.Minneapolis.Loc, reg.Servers[:3], speedtest.Single, 2)
+	if len(sums) != 3 {
+		t.Errorf("campaign results = %d", len(sums))
+	}
+}
+
+func TestProbeRRCViaPlatform(t *testing.T) {
+	p := platform(t, device.S20U, radio.TMobileSALowBand)
+	inf, samples, err := p.ProbeRRC(18, 0.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if math.Abs(inf.TailS-10.4) > 1.0 {
+		t.Errorf("SA tail = %v, want ~10.4", inf.TailS)
+	}
+	if inf.InactiveUntilS == 0 {
+		t.Error("SA RRC_INACTIVE window not found")
+	}
+}
+
+func TestTransferPowerViaPlatform(t *testing.T) {
+	p := platform(t, device.S20U, radio.VerizonNSAmmWave)
+	low, err := p.TransferPowerMw(10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := p.TransferPowerMw(2000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= high {
+		t.Errorf("power not increasing: %v >= %v", low, high)
+	}
+	e, err := p.EnergyJ([]power.Activity{{DLMbps: 100}, {DLMbps: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Errorf("energy = %v", e)
+	}
+}
+
+func TestStreamVideoViaPlatform(t *testing.T) {
+	p := platform(t, device.S20U, radio.VerizonNSAmmWave)
+	v, err := abr.NewVideo(120, 4, 160, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.StreamVideo(v, &abr.MPC{}, trace.Gen5GmmWave(1, 200))
+	if len(r.Qualities) != v.NumChunks {
+		t.Errorf("chunks = %d", len(r.Qualities))
+	}
+}
+
+func TestLoadWebPageViaPlatform(t *testing.T) {
+	p := platform(t, device.PX5, radio.VerizonNSAmmWave)
+	site := web.GenCorpus(5, 1)[2]
+	g5, g4, err := p.LoadWebPage(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g5.PLTSeconds >= g4.PLTSeconds {
+		t.Errorf("5G PLT %v >= 4G %v", g5.PLTSeconds, g4.PLTSeconds)
+	}
+	if g5.EnergyJ <= g4.EnergyJ {
+		t.Errorf("5G energy %v <= 4G %v", g5.EnergyJ, g4.EnergyJ)
+	}
+}
+
+func TestDriveViaPlatform(t *testing.T) {
+	p := platform(t, device.S20U, radio.TMobileSALowBand)
+	r := p.Drive(mobility.SAOnly)
+	if r.Vertical != 0 {
+		t.Errorf("SA drive vertical handoffs = %d", r.Vertical)
+	}
+	if r.Total() == 0 {
+		t.Error("no handoffs at all")
+	}
+}

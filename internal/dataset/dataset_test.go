@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func small() Options {
+	return Options{Traces5G: 3, Traces4G: 3, TraceLenS: 30, WalkMinutes: 2,
+		Sites: 30, SpeedtestRepeats: 1, Seed: 1}
+}
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteTraces(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteTraces(dir, small()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"5g", "4g"} {
+		files, err := filepath.Glob(filepath.Join(dir, "traces", sub, "*.csv"))
+		if err != nil || len(files) != 3 {
+			t.Fatalf("%s trace files = %d (%v)", sub, len(files), err)
+		}
+		rows := readCSV(t, files[0])
+		if len(rows) != 31 { // header + 30 seconds
+			t.Errorf("%s trace rows = %d", sub, len(rows))
+		}
+		if rows[0][0] != "second" || rows[0][1] != "mbps" {
+			t.Errorf("bad header %v", rows[0])
+		}
+		v, err := strconv.ParseFloat(rows[1][1], 64)
+		if err != nil || v <= 0 {
+			t.Errorf("bad throughput value %v", rows[1])
+		}
+	}
+}
+
+func TestWriteWalks(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteWalks(dir, small()); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "walking", "*.csv"))
+	if len(files) != 3 {
+		t.Fatalf("walk files = %d", len(files))
+	}
+	rows := readCSV(t, files[0])
+	if len(rows) != 121 { // header + 120 s
+		t.Errorf("walk rows = %d", len(rows))
+	}
+	// Power column present and positive.
+	p, err := strconv.ParseFloat(rows[1][3], 64)
+	if err != nil || p <= 0 {
+		t.Errorf("bad power value %v", rows[1])
+	}
+}
+
+func TestWriteSpeedtests(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSpeedtests(dir, small()); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "speedtest", "campaign.csv"))
+	// header + 39 servers x 2 modes.
+	if len(rows) != 1+39*2 {
+		t.Errorf("speedtest rows = %d", len(rows))
+	}
+}
+
+func TestWriteWebAndHandoffs(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteWeb(dir, small()); err != nil {
+		t.Fatal(err)
+	}
+	if rows := readCSV(t, filepath.Join(dir, "web", "corpus.csv")); len(rows) != 31 {
+		t.Errorf("corpus rows = %d", len(rows))
+	}
+	if rows := readCSV(t, filepath.Join(dir, "web", "measurements.csv")); len(rows) != 31 {
+		t.Errorf("measurement rows = %d", len(rows))
+	}
+	if err := WriteHandoffs(dir, small()); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "handoff", "*.csv"))
+	if len(files) != 5 {
+		t.Errorf("handoff files = %d, want 5 configs", len(files))
+	}
+}
+
+func TestWriteAllDeterministic(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	if err := WriteAll(d1, small()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAll(d2, small()); err != nil {
+		t.Fatal(err)
+	}
+	a := readCSV(t, filepath.Join(d1, "traces", "5g", "000.csv"))
+	b := readCSV(t, filepath.Join(d2, "traces", "5g", "000.csv"))
+	for i := range a {
+		if a[i][1] != b[i][1] {
+			t.Fatal("dataset generation not deterministic")
+		}
+	}
+}
+
+func TestWriteCSVBadPath(t *testing.T) {
+	err := writeCSV(filepath.Join(string([]byte{0}), "x.csv"), [][]string{{"a"}})
+	if err == nil {
+		t.Error("invalid path did not error")
+	}
+}

@@ -1,0 +1,132 @@
+// Package device describes the user equipment (UE) used in the study: the
+// three 5G smartphone models, their modems' carrier-aggregation capabilities,
+// and the resulting device-side throughput ceilings.
+//
+// UE specs materially shape the measurements (Appendix A.1): the Snapdragon
+// X55-based S20U aggregates 8 component carriers downlink and tops 3 Gbps,
+// while the X52-based Pixel 5 and X50-based S10 aggregate 4 and observe about
+// 2-2.2 Gbps. Uplink CA is 2CC on the X55 and 1CC otherwise.
+package device
+
+import (
+	"fmt"
+
+	"fivegsim/internal/radio"
+)
+
+// Model identifies a smartphone model.
+type Model string
+
+// The three UE models used in the measurement study.
+const (
+	PX5  Model = "Google Pixel 5"
+	S20U Model = "Samsung Galaxy S20 Ultra 5G"
+	S10  Model = "Samsung Galaxy S10 5G"
+)
+
+// Short returns the compact identifier used in the paper's figures.
+func (m Model) Short() string {
+	switch m {
+	case PX5:
+		return "PX5"
+	case S20U:
+		return "S20U"
+	case S10:
+		return "S10"
+	default:
+		return string(m)
+	}
+}
+
+// Spec captures the hardware capabilities that bound network performance.
+type Spec struct {
+	Model Model
+	// Modem is the cellular modem part number.
+	Modem string
+	// MmWaveDLCC / MmWaveULCC are the numbers of 100 MHz mmWave component
+	// carriers the modem aggregates per direction.
+	MmWaveDLCC int
+	MmWaveULCC int
+	// LowBandCC / LTECC are the CA levels on sub-6 GHz NR and LTE.
+	LowBandCC int
+	LTECC     int
+	// MaxDLMbps / MaxULMbps are overall modem/SoC ceilings (chipset,
+	// RF front end, bus): the maximum observable rates regardless of the
+	// radio conditions. The PX5 tops out near 2.2 Gbps downlink even when
+	// the cell could deliver more.
+	MaxDLMbps float64
+	MaxULMbps float64
+	// SupportsSA reports whether the UE firmware can attach to the SA 5G
+	// core (in the study only the S20U with T-Mobile firmware could).
+	SupportsSA bool
+	// Rootable reports whether the study's rooted toolchain (packet
+	// capture, kernel tuning) is available on this model.
+	Rootable bool
+}
+
+// Specs is the registry of UE hardware used across the experiments.
+var Specs = map[Model]Spec{
+	PX5: {
+		Model: PX5, Modem: "Snapdragon X52",
+		MmWaveDLCC: 4, MmWaveULCC: 1, LowBandCC: 1, LTECC: 2,
+		MaxDLMbps: 2200, MaxULMbps: 130,
+		SupportsSA: false, Rootable: true,
+	},
+	S20U: {
+		Model: S20U, Modem: "Snapdragon X55",
+		MmWaveDLCC: 8, MmWaveULCC: 2, LowBandCC: 1, LTECC: 2,
+		MaxDLMbps: 3450, MaxULMbps: 230,
+		SupportsSA: true, Rootable: false,
+	},
+	S10: {
+		Model: S10, Modem: "Snapdragon X50",
+		MmWaveDLCC: 4, MmWaveULCC: 1, LowBandCC: 1, LTECC: 2,
+		MaxDLMbps: 2000, MaxULMbps: 115,
+		SupportsSA: false, Rootable: true,
+	},
+}
+
+// Lookup returns the spec for a model, or an error for an unknown model.
+func Lookup(m Model) (Spec, error) {
+	s, ok := Specs[m]
+	if !ok {
+		return Spec{}, fmt.Errorf("device: unknown model %q", string(m))
+	}
+	return s, nil
+}
+
+// CCFor returns how many component carriers the UE aggregates on the given
+// band class and direction.
+func (s Spec) CCFor(class radio.BandClass, dir radio.Direction) int {
+	switch class {
+	case radio.ClassMmWave:
+		if dir == radio.Uplink {
+			return s.MmWaveULCC
+		}
+		return s.MmWaveDLCC
+	case radio.ClassLowBand, radio.ClassMidBand:
+		return s.LowBandCC
+	default:
+		return s.LTECC
+	}
+}
+
+// DeviceCapMbps returns the UE-side throughput ceiling for a direction.
+func (s Spec) DeviceCapMbps(dir radio.Direction) float64 {
+	if dir == radio.Uplink {
+		return s.MaxULMbps
+	}
+	return s.MaxDLMbps
+}
+
+// LinkCapacityMbps composes the network's radio capacity with this UE's CA
+// level and modem ceiling: the achievable PHY rate for this (UE, network,
+// signal) triple.
+func (s Spec) LinkCapacityMbps(n radio.Network, dir radio.Direction, rsrpDbm float64) float64 {
+	cc := s.CCFor(n.Band.Class, dir)
+	c := n.EffectiveCapacityMbps(dir, cc, rsrpDbm)
+	if cap := s.DeviceCapMbps(dir); c > cap {
+		c = cap
+	}
+	return c
+}

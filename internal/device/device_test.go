@@ -1,0 +1,113 @@
+package device
+
+import (
+	"testing"
+
+	"fivegsim/internal/radio"
+)
+
+func TestLookup(t *testing.T) {
+	for _, m := range []Model{PX5, S20U, S10} {
+		s, err := Lookup(m)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", m, err)
+		}
+		if s.Model != m {
+			t.Errorf("spec model mismatch for %s", m)
+		}
+	}
+	if _, err := Lookup(Model("iPhone")); err == nil {
+		t.Error("Lookup of unknown model did not error")
+	}
+}
+
+func TestShortNames(t *testing.T) {
+	if PX5.Short() != "PX5" || S20U.Short() != "S20U" || S10.Short() != "S10" {
+		t.Error("Short names wrong")
+	}
+	if Model("Other Phone").Short() != "Other Phone" {
+		t.Error("unknown model Short should echo the name")
+	}
+}
+
+func TestCarrierAggregationLevels(t *testing.T) {
+	// Appendix A.1: S20U (X55) runs 8CC DL / 2CC UL on mmWave; PX5 (X52)
+	// and S10 (X50) run 4CC DL / 1CC UL.
+	if got := Specs[S20U].CCFor(radio.ClassMmWave, radio.Downlink); got != 8 {
+		t.Errorf("S20U mmWave DL CC = %d, want 8", got)
+	}
+	if got := Specs[S20U].CCFor(radio.ClassMmWave, radio.Uplink); got != 2 {
+		t.Errorf("S20U mmWave UL CC = %d, want 2", got)
+	}
+	for _, m := range []Model{PX5, S10} {
+		if got := Specs[m].CCFor(radio.ClassMmWave, radio.Downlink); got != 4 {
+			t.Errorf("%s mmWave DL CC = %d, want 4", m.Short(), got)
+		}
+		if got := Specs[m].CCFor(radio.ClassMmWave, radio.Uplink); got != 1 {
+			t.Errorf("%s mmWave UL CC = %d, want 1", m.Short(), got)
+		}
+	}
+	if got := Specs[S20U].CCFor(radio.ClassLowBand, radio.Downlink); got != 1 {
+		t.Errorf("low-band CC = %d, want 1", got)
+	}
+	if got := Specs[S20U].CCFor(radio.ClassLTE, radio.Downlink); got != 2 {
+		t.Errorf("LTE CC = %d, want 2", got)
+	}
+}
+
+func TestPeakThroughputOrdering(t *testing.T) {
+	// S20U > PX5 > S10 on downlink ceilings; S20U leads uplink too.
+	if !(Specs[S20U].MaxDLMbps > Specs[PX5].MaxDLMbps && Specs[PX5].MaxDLMbps > Specs[S10].MaxDLMbps) {
+		t.Error("DL ceilings not ordered S20U > PX5 > S10")
+	}
+	if Specs[S20U].MaxULMbps <= Specs[PX5].MaxULMbps {
+		t.Error("S20U UL ceiling should exceed PX5's")
+	}
+}
+
+func TestLinkCapacityComposition(t *testing.T) {
+	peak := radio.BandN261.PeakRSRPDbm
+	// S20U on mmWave at peak signal is modem-limited near 3.45 Gbps.
+	c := Specs[S20U].LinkCapacityMbps(radio.VerizonNSAmmWave, radio.Downlink, peak)
+	if c != Specs[S20U].MaxDLMbps {
+		t.Errorf("S20U mmWave peak capacity = %v, want modem cap %v", c, Specs[S20U].MaxDLMbps)
+	}
+	// PX5 is capped near 2.2 Gbps (Fig. 23).
+	c = Specs[PX5].LinkCapacityMbps(radio.VerizonNSAmmWave, radio.Downlink, peak)
+	if c < 1800 || c > 2200 {
+		t.Errorf("PX5 mmWave peak capacity = %v, want ~2000-2200", c)
+	}
+	// At the coverage edge the radio, not the modem, limits throughput.
+	edge := radio.BandN261.EdgeRSRPDbm + 5
+	ce := Specs[S20U].LinkCapacityMbps(radio.VerizonNSAmmWave, radio.Downlink, edge)
+	if ce >= 1000 {
+		t.Errorf("edge capacity = %v, want well below peak", ce)
+	}
+	// Uplink ~220 Mbps for S20U (§3.2).
+	u := Specs[S20U].LinkCapacityMbps(radio.VerizonNSAmmWave, radio.Uplink, peak)
+	if u < 190 || u > 240 {
+		t.Errorf("S20U mmWave uplink = %v, want ~220", u)
+	}
+}
+
+func TestSACapability(t *testing.T) {
+	// Only the S20U (with T-Mobile firmware) could attach to SA 5G.
+	if !Specs[S20U].SupportsSA {
+		t.Error("S20U should support SA")
+	}
+	if Specs[PX5].SupportsSA || Specs[S10].SupportsSA {
+		t.Error("PX5/S10 should not support SA")
+	}
+}
+
+func TestLowBandCapacities(t *testing.T) {
+	peak := radio.BandN71.PeakRSRPDbm
+	nsa := Specs[S20U].LinkCapacityMbps(radio.TMobileNSALowBand, radio.Downlink, peak)
+	sa := Specs[S20U].LinkCapacityMbps(radio.TMobileSALowBand, radio.Downlink, peak)
+	if nsa < 80 || nsa > 250 {
+		t.Errorf("NSA n71 DL = %v, want O(100-200) Mbps", nsa)
+	}
+	if sa < 0.4*nsa || sa > 0.6*nsa {
+		t.Errorf("SA n71 DL = %v vs NSA %v, want ~half", sa, nsa)
+	}
+}

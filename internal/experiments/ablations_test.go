@@ -1,0 +1,123 @@
+package experiments
+
+import "testing"
+
+func TestAblationTailRatio(t *testing.T) {
+	tb := run(t, "ablation-tail")[0]
+	// Rows come in (10 s, 20 s) pairs; the 20 s demotion must cost
+	// roughly twice the energy (the paper's "2x more efficient").
+	for r := 0; r+1 < len(tb.Rows); r += 2 {
+		e10 := cell(t, tb, r, 2)
+		e20 := cell(t, tb, r+1, 2)
+		ratio := e20 / e10
+		if ratio < 1.5 || ratio > 2.3 {
+			t.Errorf("row %d: 20s/10s demotion energy = %.2f, want ~2", r, ratio)
+		}
+	}
+}
+
+func TestAblationWmemMonotone(t *testing.T) {
+	tb := run(t, "ablation-wmem")[0]
+	prev := 0.0
+	for r := range tb.Rows {
+		v := cell(t, tb, r, 1)
+		if v < prev*0.95 {
+			t.Errorf("throughput not (weakly) increasing with wmem at row %d", r)
+		}
+		if v > prev {
+			prev = v
+		}
+	}
+	// The sweep must show a material dynamic range (the BDP wall).
+	first := cell(t, tb, 0, 1)
+	last := cell(t, tb, len(tb.Rows)-1, 1)
+	if last < 4*first {
+		t.Errorf("wmem sweep range too small: %v -> %v", first, last)
+	}
+}
+
+func TestAblationChunkBuffer(t *testing.T) {
+	tb := run(t, "ablation-chunk-buffer")[0]
+	// Rows: (4s x 10/20/40), (1s x 10/20/40). 1 s chunks stall less than
+	// 4 s at the matching buffer size.
+	for i := 0; i < 3; i++ {
+		s4 := cell(t, tb, i, 3)
+		s1 := cell(t, tb, i+3, 3)
+		if s1 >= s4 {
+			t.Errorf("buffer row %d: 1s chunk stalls %.2f%% >= 4s %.2f%%", i, s1, s4)
+		}
+	}
+	// Bigger buffers reduce stalls for the 4 s chunks.
+	if cell(t, tb, 2, 3) >= cell(t, tb, 0, 3) {
+		t.Error("40 s buffer should stall less than 10 s (4 s chunks)")
+	}
+}
+
+func TestAblationSwitchThreshold(t *testing.T) {
+	tb := run(t, "ablation-switch-threshold")[0]
+	// A larger threshold means more time on 4G and lower bitrate.
+	for r := 1; r < len(tb.Rows); r++ {
+		if cell(t, tb, r, 3) < cell(t, tb, r-1, 3) {
+			t.Error("time on 4G should grow with the threshold")
+		}
+		if cell(t, tb, r, 2) > cell(t, tb, r-1, 2)+0.02 {
+			t.Error("bitrate should not grow with the threshold")
+		}
+	}
+}
+
+func TestExtensionBBRBeatsCubic(t *testing.T) {
+	tb := run(t, "extension-bbr")[0]
+	for r := range tb.Rows {
+		udp := cell(t, tb, r, 2)
+		bbr := cell(t, tb, r, 3)
+		cubic := cell(t, tb, r, 4)
+		if !(bbr > cubic && bbr <= udp*1.01) {
+			t.Errorf("row %d: ordering violated udp=%v bbr=%v cubic=%v", r, udp, bbr, cubic)
+		}
+		if bbr < 0.85*udp {
+			t.Errorf("row %d: BBR %v too far below UDP %v", r, bbr, udp)
+		}
+	}
+}
+
+func TestExtensionAbandonTradeoff(t *testing.T) {
+	tb := run(t, "extension-abandon")[0]
+	// Row 0 standard, row 1 with abandonment.
+	if cell(t, tb, 1, 2) >= cell(t, tb, 0, 2) {
+		t.Error("abandonment did not reduce stalls")
+	}
+	if cell(t, tb, 1, 4) <= 0 {
+		t.Error("abandonment reported no wasted bytes")
+	}
+}
+
+func TestExtensionMidbandOrdering(t *testing.T) {
+	tb := run(t, "extension-midband")[0]
+	// Rows: LTE, low-band, mid-band, mmWave. Peak DL strictly ordered
+	// low-band < mid-band < mmWave; air RTT strictly decreasing from LTE.
+	if !(cell(t, tb, 1, 1) < cell(t, tb, 2, 1) && cell(t, tb, 2, 1) < cell(t, tb, 3, 1)) {
+		t.Error("peak DL not ordered low-band < mid-band < mmWave")
+	}
+	for r := 1; r < 4; r++ {
+		if cell(t, tb, r, 3) >= cell(t, tb, r-1, 3) {
+			t.Error("air RTT not decreasing toward higher bands")
+		}
+	}
+}
+
+func TestLongitudinalImprovements(t *testing.T) {
+	tb := run(t, "longitudinal")[0]
+	r19, r21 := cell(t, tb, 0, 1), cell(t, tb, 1, 1)
+	d19, d21 := cell(t, tb, 0, 2), cell(t, tb, 1, 2)
+	u19, u21 := cell(t, tb, 0, 3), cell(t, tb, 1, 3)
+	if imp := 1 - r21/r19; imp < 0.35 || imp > 0.65 {
+		t.Errorf("RTT improvement = %.0f%%, want ~50%%", imp*100)
+	}
+	if gain := d21/d19 - 1; gain < 0.4 || gain > 0.9 {
+		t.Errorf("DL improvement = %.0f%%, want ~50-60%%", gain*100)
+	}
+	if x := u21 / u19; x < 3 || x > 4.5 {
+		t.Errorf("UL improvement = %.1fx, want 3-4x", x)
+	}
+}

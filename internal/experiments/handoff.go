@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fivegsim/internal/mobility"
+)
+
+func init() {
+	register("fig9", Fig9)
+}
+
+// Fig9 reproduces the driving handoff experiment: the 10 km route under the
+// five band configurations, with the handoff counts and the active-radio
+// time split of each bar.
+func Fig9(cfg Config) []*Table {
+	t := &Table{ID: "fig9", Title: "[T-Mobile] handoffs while driving the 10 km route",
+		Header: []string{"Band config", "Total", "Horizontal", "Vertical",
+			"time 4G (s)", "time NSA-5G (s)", "time SA-5G (s)"}}
+	runs := cfg.pick(1, 4) // the paper drove each config 2x per direction
+	for _, bc := range mobility.AllConfigs {
+		var tot, hor, ver int
+		var t4, tn, ts float64
+		for _, r := range mobility.DriveCampaign(bc, runs, cfg.Seed) {
+			tot += r.Total()
+			hor += r.Horizontal
+			ver += r.Vertical
+			t4 += r.TimeOn(mobility.Tech4G)
+			tn += r.TimeOn(mobility.TechNSA5G)
+			ts += r.TimeOn(mobility.TechSA5G)
+		}
+		f := float64(runs)
+		t.AddRow(bc.String(), d(int(float64(tot)/f+0.5)), d(int(float64(hor)/f+0.5)),
+			d(int(float64(ver)/f+0.5)), f0(t4/f), f0(tn/f), f0(ts/f))
+	}
+	t.Notes = append(t.Notes,
+		"paper counts: SA-only 13, NSA+LTE 110, LTE-only 30, SA+LTE 38, all bands 64",
+		fmt.Sprintf("per-config averages over %d drive(s)", runs))
+	return []*Table{t}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fivegsim/internal/abr"
+	"fivegsim/internal/device"
+	"fivegsim/internal/power"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/trace"
+)
+
+func init() {
+	register("fig17", Fig17)
+	register("fig18a", Fig18a)
+	register("fig18b", Fig18b)
+	register("fig18c", Fig18c)
+	register("table4", Table4)
+}
+
+// Video parameters of §5.1: ~5-minute video, 4 s chunks, 6 tracks with a
+// 1.5x ladder, top track at the network's median throughput.
+const (
+	videoDurS  = 300
+	chunkS     = 4
+	tracks     = 6
+	top5GMbps  = 160
+	top4GMbps  = 20
+	traceLenS  = 400
+	trainSeed  = 99
+	trainCount = 30
+)
+
+func video5G() abr.Video {
+	v, err := abr.NewVideo(videoDurS, chunkS, top5GMbps, tracks)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func video4G() abr.Video {
+	v, err := abr.NewVideo(videoDurS, chunkS, top4GMbps, tracks)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// algorithms builds fresh instances of the seven evaluated ABRs, training
+// Pensieve for the given video on matching traces.
+func algorithms(cfg Config, v abr.Video, train [][]float64) []abr.Algorithm {
+	pens, err := abr.TrainPensieve(v, train, abr.TrainOptions{}, cfg.Seed+7)
+	if err != nil {
+		panic(err)
+	}
+	return []abr.Algorithm{
+		&abr.BBA{}, &abr.RB{}, &abr.BOLA{},
+		&abr.MPC{Label: "fastMPC"}, pens,
+		&abr.MPC{Label: "robustMPC", Robust: true}, &abr.FESTIVE{},
+	}
+}
+
+// Fig17 evaluates the seven ABR algorithms on 5G and 4G, reporting the
+// two-dimensional QoE (normalised bitrate vs stall time) and the stall
+// comparison of Fig. 17c.
+func Fig17(cfg Config) []*Table {
+	n := cfg.pick(20, trace.NumTraces5G)
+	n4 := cfg.pick(20, trace.NumTraces4G)
+	tr5 := trace.GenSet5G(n, traceLenS, cfg.Seed)
+	tr4 := trace.GenSet4G(n4, traceLenS, cfg.Seed)
+	v5, v4 := video5G(), video4G()
+	train5 := trace.GenSet5G(trainCount, traceLenS, trainSeed)
+	train4 := trace.GenSet4G(trainCount, traceLenS, trainSeed)
+
+	t := &Table{ID: "fig17", Title: "ABR QoE on 5G (mmWave) and 4G",
+		Header: []string{"Algorithm", "5G bitrate", "5G stall%", "4G bitrate", "4G stall%", "stall increase (pp)"}}
+	a5 := algorithms(cfg, v5, train5)
+	a4 := algorithms(cfg, v4, train4)
+	for i := range a5 {
+		g5 := abr.Evaluate(v5, a5[i], tr5, abr.Options{})
+		g4 := abr.Evaluate(v4, a4[i], tr4, abr.Options{})
+		t.AddRow(a5[i].Name(), f2(g5.NormBitrate), pct(g5.StallPct),
+			f2(g4.NormBitrate), pct(g4.StallPct), f2(g5.StallPct-g4.StallPct))
+	}
+	t.Notes = append(t.Notes,
+		"paper: bitrates comparable across networks (avg drop ~3.5%) but stalls rise sharply on 5G",
+		"paper: Pensieve suffers the highest 5G stall time (+259.5%); only robustMPC stays in the better-QoE region")
+	return []*Table{t}
+}
+
+// Fig18a compares throughput predictors inside fastMPC on mmWave 5G.
+func Fig18a(cfg Config) []*Table {
+	n := cfg.pick(20, trace.NumTraces5G)
+	tr5 := trace.GenSet5G(n, traceLenS, cfg.Seed)
+	v := video5G()
+	gbdt, err := abr.TrainGBDTPredictor(trace.GenSet5G(trainCount, traceLenS, trainSeed+1), 8, chunkS, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	t := &Table{ID: "fig18a", Title: "fastMPC QoE by throughput predictor (mmWave 5G)",
+		Header: []string{"Predictor", "mean QoE", "normalised QoE", "bitrate", "stall%"}}
+	preds := []abr.Predictor{&abr.HarmonicPredictor{}, gbdt, &abr.OraclePredictor{}}
+	var qoes []float64
+	var rows []abr.Aggregate
+	for _, p := range preds {
+		g := abr.Evaluate(v, &abr.MPC{Label: "fastMPC/" + p.Name(), Pred: p}, tr5, abr.Options{})
+		qoes = append(qoes, g.MeanQoE)
+		rows = append(rows, g)
+	}
+	truth := qoes[2]
+	names := []string{"hmMPC", "MPC_GDBT", "truthMPC"}
+	for i, g := range rows {
+		t.AddRow(names[i], f0(g.MeanQoE), f2(qoes[i]/truth), f2(g.NormBitrate), pct(g.StallPct))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("GDBT over harmonic mean: %+.1f%% QoE; %.1f%% below truthMPC",
+			(qoes[1]/qoes[0]-1)*100, (1-qoes[1]/truth)*100),
+		"paper: MPC_GDBT +31.98% over hmMPC, only 1.3% below truthMPC")
+	return []*Table{t}
+}
+
+// Fig18b studies chunk length (4/2/1 s) under fastMPC on mmWave 5G.
+func Fig18b(cfg Config) []*Table {
+	n := cfg.pick(20, trace.NumTraces5G)
+	tr5 := trace.GenSet5G(n, traceLenS, cfg.Seed)
+	t := &Table{ID: "fig18b", Title: "fastMPC QoE by chunk length (mmWave 5G)",
+		Header: []string{"Chunk length", "bitrate", "stall%", "QoE/chunk"}}
+	var bit, stall [3]float64
+	lens := []float64{4, 2, 1}
+	for i, cl := range lens {
+		v, err := abr.NewVideo(videoDurS, cl, top5GMbps, tracks)
+		if err != nil {
+			panic(err)
+		}
+		g := abr.Evaluate(v, &abr.MPC{}, tr5, abr.Options{})
+		bit[i], stall[i] = g.NormBitrate, g.StallPct
+		t.AddRow(fmt.Sprintf("%.0f s", cl), f2(g.NormBitrate), pct(g.StallPct),
+			f1(g.MeanQoE/float64(v.NumChunks)))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("1 s vs 4 s chunks: %+.1f%% bitrate, %+.1f%% stall",
+			(bit[2]/bit[0]-1)*100, (stall[2]/stall[0]-1)*100),
+		"paper: 1 s chunks give +21.5% bitrate and -33.6% stalls vs 2 s (and more vs 4 s)")
+	return []*Table{t}
+}
+
+// ifaceRun evaluates one interface-selection scheme over paired 5G/4G traces.
+func ifaceRun(cfg Config, scheme abr.Scheme, n int) (agg abr.Aggregate, energyJ float64, time4G float64) {
+	v := video5G()
+	for i := 0; i < n; i++ {
+		tr5 := trace.Gen5GmmWave(cfg.Seed+int64(i)*7919+1, traceLenS)
+		tr4 := trace.Gen4G(cfg.Seed+int64(i)*104729+1, traceLenS)
+		r := abr.SimulateIface(v, &abr.MPC{}, tr5, tr4, scheme, abr.Options{})
+		agg.NormBitrate += r.NormBitrate
+		agg.StallPct += r.StallPct
+		agg.MeanStallS += r.StallS
+		agg.MeanQoE += r.QoE
+		energyJ += ifaceEnergyJ(r.Samples)
+		time4G += r.Time4GS
+	}
+	f := float64(n)
+	agg.NormBitrate /= f
+	agg.StallPct /= f
+	agg.MeanStallS /= f
+	agg.MeanQoE /= f
+	return agg, energyJ / f, time4G / f
+}
+
+// ifaceEnergyJ feeds the per-second interface usage into the §4 power model
+// (S20U curves), the Table 4 methodology.
+func ifaceEnergyJ(samples []abr.IfaceSample) float64 {
+	var j float64
+	for _, s := range samples {
+		class := radio.ClassMmWave
+		if !s.On5G {
+			class = radio.ClassLTE
+		}
+		p, err := power.RadioPowerMw(device.S20U, power.Activity{
+			Class: class, DLMbps: s.Mb * 8})
+		if err != nil {
+			panic(err)
+		}
+		j += p / 1000
+	}
+	return j
+}
+
+// Fig18c compares the interface-selection schemes' QoE.
+func Fig18c(cfg Config) []*Table {
+	n := cfg.pick(20, 60)
+	t := &Table{ID: "fig18c", Title: "Interface selection for 5G video (fastMPC base)",
+		Header: []string{"Scheme", "bitrate", "stall%", "stall (s)", "time on 4G (s)"}}
+	var stalls []float64
+	for _, s := range []abr.Scheme{abr.Always5G, abr.FiveGAware, abr.FiveGAwareNoOverhead} {
+		agg, _, t4 := ifaceRun(cfg, s, n)
+		stalls = append(stalls, agg.MeanStallS)
+		t.AddRow(s.String(), f2(agg.NormBitrate), pct(agg.StallPct), f1(agg.MeanStallS), f1(t4))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("5G-aware cuts stall time by %.1f%% vs 5G-only (paper: 26.9%%)",
+			(1-stalls[1]/stalls[0])*100),
+		fmt.Sprintf("switch overhead costs %.1f%% extra stall vs the no-overhead ideal (paper: 4.0%%)",
+			(stalls[1]/stalls[2]-1)*100))
+	return []*Table{t}
+}
+
+// Table4 reports the radio energy of each interface-selection scheme.
+func Table4(cfg Config) []*Table {
+	n := cfg.pick(20, 60)
+	t := &Table{ID: "table4", Title: "Energy by interface-selection scheme (S20U model)",
+		Header: []string{"Interface selection scheme", "Energy (J)"}}
+	var energies []float64
+	for _, s := range []abr.Scheme{abr.Always5G, abr.FiveGAware, abr.FiveGAwareNoOverhead} {
+		_, e, _ := ifaceRun(cfg, s, n)
+		energies = append(energies, e)
+		label := map[abr.Scheme]string{
+			abr.Always5G:             "5G-only MPC",
+			abr.FiveGAware:           "5G-aware MPC",
+			abr.FiveGAwareNoOverhead: "5G-aware MPC NO*",
+		}[s]
+		t.AddRow(label, f1(e))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("5G-aware saves %.1f%% energy vs 5G-only (paper: 4.2%%)",
+			(1-energies[1]/energies[0])*100),
+		"*NO = no switch overhead")
+	return []*Table{t}
+}

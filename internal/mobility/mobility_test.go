@@ -1,0 +1,183 @@
+package mobility
+
+import (
+	"testing"
+)
+
+func TestConfigStrings(t *testing.T) {
+	want := map[BandConfig]string{
+		SAOnly: "SA-5G only", NSAPlusLTE: "NSA-5G + LTE", LTEOnly: "LTE only",
+		SAPlusLTE: "SA-5G + LTE", AllBands: "All Bands",
+	}
+	for cfg, s := range want {
+		if cfg.String() != s {
+			t.Errorf("%d.String() = %q, want %q", cfg, cfg.String(), s)
+		}
+	}
+	if BandConfig(99).String() == "" {
+		t.Error("unknown config should format")
+	}
+	if Tech4G.String() != "4G" || TechNSA5G.String() != "NSA-5G" ||
+		TechSA5G.String() != "SA-5G" || TechNone.String() != "none" {
+		t.Error("tech strings wrong")
+	}
+	if Horizontal.String() != "horizontal" || Vertical.String() != "vertical" {
+		t.Error("handoff kind strings wrong")
+	}
+}
+
+func TestDriveCompletesRoute(t *testing.T) {
+	r := Drive(SAOnly, 1)
+	if r.RouteKm != RouteKm {
+		t.Errorf("route = %v", r.RouteKm)
+	}
+	// 10 km at the mixed speed profile takes about 10 minutes.
+	if r.DurationS < 500 || r.DurationS > 750 {
+		t.Errorf("duration = %v s, want ~600", r.DurationS)
+	}
+	if len(r.Segments) == 0 {
+		t.Fatal("no timeline segments")
+	}
+	// Segments tile [0, Duration].
+	if r.Segments[0].Start != 0 {
+		t.Error("first segment does not start at 0")
+	}
+	for i := 1; i < len(r.Segments); i++ {
+		if r.Segments[i].Start != r.Segments[i-1].End {
+			t.Fatalf("segment gap at %d", i)
+		}
+	}
+	if last := r.Segments[len(r.Segments)-1]; last.End != r.DurationS {
+		t.Errorf("last segment ends at %v, want %v", last.End, r.DurationS)
+	}
+}
+
+func TestFig9HandoffOrdering(t *testing.T) {
+	// The central §3.3 result: SA has by far the fewest handoffs; NSA+LTE
+	// by far the most; LTE-only and SA+LTE sit in between.
+	res := map[BandConfig]Result{}
+	for _, cfg := range AllConfigs {
+		res[cfg] = Drive(cfg, 42)
+	}
+	sa, nsa, lte, salte, all := res[SAOnly].Total(), res[NSAPlusLTE].Total(),
+		res[LTEOnly].Total(), res[SAPlusLTE].Total(), res[AllBands].Total()
+	if !(sa < lte && sa < salte && sa < all && sa < nsa) {
+		t.Errorf("SA (%d) should have the fewest handoffs: nsa=%d lte=%d salte=%d all=%d",
+			sa, nsa, lte, salte, all)
+	}
+	if !(nsa > lte && nsa > salte && nsa > all) {
+		t.Errorf("NSA (%d) should have the most handoffs", nsa)
+	}
+	// Approximate magnitudes from Fig. 9: 13 / 110 / 30 / 38 / 64.
+	check := func(name string, got, want, tol int) {
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s handoffs = %d, want %d +/- %d", name, got, want, tol)
+		}
+	}
+	check("SA", sa, 13, 6)
+	check("NSA", nsa, 110, 30)
+	check("LTE", lte, 30, 10)
+	check("SA+LTE", salte, 38, 14)
+	check("All", all, 64, 20)
+}
+
+func TestNSAVerticalDominance(t *testing.T) {
+	// §3.3: in NSA, ~90 of the handoffs are vertical; horizontal stays at
+	// 13-20 thanks to n71's wide coverage.
+	r := Drive(NSAPlusLTE, 42)
+	if r.Vertical < 60 {
+		t.Errorf("NSA vertical handoffs = %d, want ~90", r.Vertical)
+	}
+	if r.Horizontal < 8 || r.Horizontal > 25 {
+		t.Errorf("NSA horizontal handoffs = %d, want 13-20", r.Horizontal)
+	}
+	if r.Vertical < 3*r.Horizontal {
+		t.Errorf("vertical (%d) should dwarf horizontal (%d)", r.Vertical, r.Horizontal)
+	}
+}
+
+func TestSANoVerticalHandoffs(t *testing.T) {
+	r := Drive(SAOnly, 7)
+	if r.Vertical != 0 {
+		t.Errorf("SA-only produced %d vertical handoffs", r.Vertical)
+	}
+	// The whole drive should be on SA 5G (n71 coverage is omnipresent).
+	if on := r.TimeOn(TechSA5G); on < 0.95*r.DurationS {
+		t.Errorf("time on SA = %v of %v", on, r.DurationS)
+	}
+}
+
+func TestLTEOnlyNeverUses5G(t *testing.T) {
+	r := Drive(LTEOnly, 7)
+	if r.TimeOn(TechNSA5G) != 0 || r.TimeOn(TechSA5G) != 0 {
+		t.Error("LTE-only drive used 5G")
+	}
+	if r.Vertical != 0 {
+		t.Errorf("LTE-only produced %d vertical handoffs", r.Vertical)
+	}
+}
+
+func TestNSASplitsTimeBetween4GAnd5G(t *testing.T) {
+	// Fig. 9's NSA bar alternates between orange (NSA 5G) and blue (4G).
+	r := Drive(NSAPlusLTE, 42)
+	t4, t5 := r.TimeOn(Tech4G), r.TimeOn(TechNSA5G)
+	if t4 < 0.15*r.DurationS || t5 < 0.15*r.DurationS {
+		t.Errorf("NSA time split 4G=%v 5G=%v of %v: want both substantial",
+			t4, t5, r.DurationS)
+	}
+}
+
+func TestEventsConsistentWithCounts(t *testing.T) {
+	r := Drive(AllBands, 5)
+	h, v := 0, 0
+	for _, e := range r.Events {
+		switch e.Kind {
+		case Horizontal:
+			h++
+		case Vertical:
+			v++
+		}
+		if e.At < 0 || e.At > r.DurationS {
+			t.Errorf("event at %v outside drive", e.At)
+		}
+		if e.Km < 0 || e.Km > r.RouteKm {
+			t.Errorf("event at km %v outside route", e.Km)
+		}
+		if e.Kind == Vertical && e.From == e.To {
+			t.Error("vertical handoff with identical techs")
+		}
+	}
+	if h != r.Horizontal || v != r.Vertical {
+		t.Errorf("event counts %d/%d vs totals %d/%d", h, v, r.Horizontal, r.Vertical)
+	}
+}
+
+func TestDriveDeterministic(t *testing.T) {
+	a, b := Drive(NSAPlusLTE, 11), Drive(NSAPlusLTE, 11)
+	if a.Total() != b.Total() || len(a.Segments) != len(b.Segments) {
+		t.Error("drive not deterministic for equal seeds")
+	}
+}
+
+func TestDriveCampaign(t *testing.T) {
+	rs := DriveCampaign(SAOnly, 4, 1)
+	if len(rs) != 4 {
+		t.Fatalf("campaign runs = %d", len(rs))
+	}
+	// Different seeds should usually differ.
+	same := true
+	for _, r := range rs[1:] {
+		if r.Total() != rs[0].Total() {
+			same = false
+		}
+	}
+	if same && rs[0].Total() > 0 {
+		t.Log("all campaign runs identical (possible, but suspicious)")
+	}
+	// Every run keeps the SA invariant.
+	for i, r := range rs {
+		if r.Vertical != 0 {
+			t.Errorf("run %d: SA vertical handoffs = %d", i, r.Vertical)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package netpath composes the radio link, the carrier core, and the
+// Internet path to a test server into one end-to-end path model: the
+// substrate under every throughput/latency experiment in §3.
+//
+// Latency model (calibrated to Fig. 1/2): RTT = band air latency + carrier
+// core processing + geographic propagation at ~0.019 ms/km round trip
+// (fiber propagation plus typical route inflation) + any server-side extra.
+// The minimum observed mmWave RTT of ~6 ms to a ~3 km server and the
+// doubling by ~320 km both fall out of these constants.
+//
+// Capacity model: the minimum of the UE-side radio capacity (band, CA,
+// signal, modem ceiling — internal/device) and the server-side port cap
+// (internal/geo). Loss characteristics depend on the band class: mmWave
+// paths suffer periodic radio loss episodes (beam switches, blockage) that
+// CUBIC pays for; low-band and LTE paths are stable.
+package netpath
+
+import (
+	"math/rand"
+
+	"fivegsim/internal/device"
+	"fivegsim/internal/geo"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/transport"
+)
+
+// Latency model constants.
+const (
+	// CoreLatencyMs is the carrier core + ingress processing delay.
+	CoreLatencyMs = 2.5
+	// MsPerKm is the round-trip propagation + route inflation per km of
+	// UE-server distance.
+	MsPerKm = 0.019
+)
+
+// Loss characteristics per band class (events/second of radio-driven
+// multiplicative decreases; see transport.PathParams.LossEventRate).
+func lossEventRate(c radio.BandClass) float64 {
+	switch c {
+	case radio.ClassMmWave:
+		return 0.15
+	case radio.ClassMidBand:
+		return 0.06
+	default:
+		return 0.02
+	}
+}
+
+// randomLossRate is the residual per-packet random loss (<1% of packets,
+// per the paper's packet dumps).
+const randomLossRate = 1e-6
+
+// Path is an end-to-end UE <-> server path.
+type Path struct {
+	UE      device.Spec
+	Network radio.Network
+	// RSRPDbm is the serving-cell signal at the UE. Zero means "assume
+	// peak signal" (the stationary LoS setting of §3's experiments).
+	RSRPDbm float64
+	// DistanceKm is the UE-server network distance.
+	DistanceKm float64
+	// ServerCapMbps caps throughput server-side (0 = unbounded).
+	ServerCapMbps float64
+	// ExtraRTTMs adds server-side routing overhead.
+	ExtraRTTMs float64
+}
+
+// New builds a path from a UE at a location to a server in a registry.
+func New(ue device.Spec, n radio.Network, ueLoc geo.Point, s geo.Server) Path {
+	return Path{
+		UE: ue, Network: n,
+		DistanceKm:    s.DistanceKm(ueLoc),
+		ServerCapMbps: s.CapMbps,
+		ExtraRTTMs:    s.ExtraRTTMs,
+	}
+}
+
+// rsrp returns the effective RSRP: the configured value, or the band's peak
+// when unset (clear-LoS stationary experiments).
+func (p Path) rsrp() float64 {
+	if p.RSRPDbm != 0 {
+		return p.RSRPDbm
+	}
+	return p.Network.Band.PeakRSRPDbm
+}
+
+// RTTMs returns the base round-trip time in milliseconds.
+func (p Path) RTTMs() float64 {
+	return p.Network.Band.AirRTTMs + CoreLatencyMs + p.DistanceKm*MsPerKm + p.ExtraRTTMs
+}
+
+// RTTSeconds returns the base round-trip time in seconds.
+func (p Path) RTTSeconds() float64 { return p.RTTMs() / 1000 }
+
+// CapacityMbps returns the bottleneck capacity in the given direction:
+// min(radio+UE capacity, server port cap).
+func (p Path) CapacityMbps(dir radio.Direction) float64 {
+	c := p.UE.LinkCapacityMbps(p.Network, dir, p.rsrp())
+	if p.ServerCapMbps > 0 && c > p.ServerCapMbps {
+		c = p.ServerCapMbps
+	}
+	return c
+}
+
+// Params assembles transport.PathParams for the given direction.
+func (p Path) Params(dir radio.Direction) transport.PathParams {
+	return transport.PathParams{
+		CapacityMbps:  p.CapacityMbps(dir),
+		RTTSeconds:    p.RTTSeconds(),
+		LossRate:      randomLossRate,
+		LossEventRate: lossEventRate(p.Network.Band.Class),
+	}
+}
+
+// PingMs returns one latency probe sample: the base RTT plus scheduling
+// jitter. Cellular RTT jitter is a few ms (radio scheduling grants).
+func (p Path) PingMs(rng *rand.Rand) float64 {
+	jitter := rng.ExpFloat64() * 1.5
+	if jitter > 25 {
+		jitter = 25
+	}
+	return p.RTTMs() + jitter
+}

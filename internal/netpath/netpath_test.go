@@ -1,0 +1,138 @@
+package netpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"fivegsim/internal/device"
+	"fivegsim/internal/geo"
+	"fivegsim/internal/radio"
+)
+
+func s20u(t *testing.T) device.Spec {
+	t.Helper()
+	s, err := device.Lookup(device.S20U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMinimumMmWaveRTT(t *testing.T) {
+	// §3.2: lowest observed RTT ~6 ms for a server ~3 km away.
+	p := Path{UE: s20u(t), Network: radio.VerizonNSAmmWave, DistanceKm: 3}
+	if rtt := p.RTTMs(); rtt < 5 || rtt > 7 {
+		t.Errorf("mmWave RTT at 3 km = %.2f ms, want ~6", rtt)
+	}
+}
+
+func TestRTTDoublesBy320Km(t *testing.T) {
+	near := Path{UE: s20u(t), Network: radio.VerizonNSAmmWave, DistanceKm: 3}
+	far := Path{UE: s20u(t), Network: radio.VerizonNSAmmWave, DistanceKm: 320}
+	ratio := far.RTTMs() / near.RTTMs()
+	if ratio < 1.8 || ratio > 2.4 {
+		t.Errorf("RTT ratio at 320 km = %.2f, want ~2", ratio)
+	}
+}
+
+func TestBandLatencyOrdering(t *testing.T) {
+	// Fig. 2: at every distance, mmWave < low-band 5G < LTE, with low-band
+	// ~6-8 ms above mmWave and LTE 6-15 ms above 5G.
+	ue := s20u(t)
+	for _, d := range []float64{3, 500, 1500, 2500} {
+		mm := Path{UE: ue, Network: radio.VerizonNSAmmWave, DistanceKm: d}.RTTMs()
+		lb := Path{UE: ue, Network: radio.VerizonNSALowBand, DistanceKm: d}.RTTMs()
+		lte := Path{UE: ue, Network: radio.VerizonLTE, DistanceKm: d}.RTTMs()
+		if !(mm < lb && lb < lte) {
+			t.Errorf("d=%v: ordering violated mm=%v lb=%v lte=%v", d, mm, lb, lte)
+		}
+		if diff := lb - mm; diff < 6 || diff > 8 {
+			t.Errorf("d=%v: low-band minus mmWave = %.1f ms, want 6-8", d, diff)
+		}
+		if diff := lte - mm; diff < 6 || diff > 15 {
+			t.Errorf("d=%v: LTE minus mmWave = %.1f ms, want 6-15", d, diff)
+		}
+	}
+}
+
+func TestSAvsNSALatencySimilar(t *testing.T) {
+	// §3.2: no significant RTT difference between T-Mobile SA and NSA.
+	ue := s20u(t)
+	for _, d := range []float64{10, 1000} {
+		sa := Path{UE: ue, Network: radio.TMobileSALowBand, DistanceKm: d}.RTTMs()
+		nsa := Path{UE: ue, Network: radio.TMobileNSALowBand, DistanceKm: d}.RTTMs()
+		if sa != nsa {
+			t.Errorf("d=%v: SA RTT %v != NSA RTT %v", d, sa, nsa)
+		}
+	}
+}
+
+func TestCapacityComposition(t *testing.T) {
+	ue := s20u(t)
+	p := Path{UE: ue, Network: radio.VerizonNSAmmWave, DistanceKm: 3}
+	if c := p.CapacityMbps(radio.Downlink); c != ue.MaxDLMbps {
+		t.Errorf("uncapped capacity = %v, want UE ceiling %v", c, ue.MaxDLMbps)
+	}
+	p.ServerCapMbps = 1000
+	if c := p.CapacityMbps(radio.Downlink); c != 1000 {
+		t.Errorf("capped capacity = %v, want 1000", c)
+	}
+	// Poor signal cuts capacity below the server cap.
+	p.RSRPDbm = -105
+	if c := p.CapacityMbps(radio.Downlink); c >= 1000 {
+		t.Errorf("poor-signal capacity = %v, want < 1000", c)
+	}
+}
+
+func TestParamsLossModel(t *testing.T) {
+	ue := s20u(t)
+	mm := Path{UE: ue, Network: radio.VerizonNSAmmWave, DistanceKm: 100}.Params(radio.Downlink)
+	lb := Path{UE: ue, Network: radio.TMobileNSALowBand, DistanceKm: 100}.Params(radio.Downlink)
+	if mm.LossEventRate <= lb.LossEventRate {
+		t.Error("mmWave loss-event rate should exceed low-band")
+	}
+	if mm.LossRate <= 0 || mm.LossRate > 0.01 {
+		t.Errorf("random loss = %v, want tiny but positive", mm.LossRate)
+	}
+	if mm.RTTSeconds <= 0 || mm.CapacityMbps <= 0 {
+		t.Error("invalid params")
+	}
+}
+
+func TestNewFromServer(t *testing.T) {
+	reg := geo.NewMinnesotaRegistry("Verizon")
+	srv := reg.Servers[30] // a capped third-party server
+	p := New(s20u(t), radio.VerizonNSAmmWave, geo.Minneapolis.Loc, srv)
+	if p.ServerCapMbps != srv.CapMbps {
+		t.Error("server cap not propagated")
+	}
+	if p.ExtraRTTMs != srv.ExtraRTTMs {
+		t.Error("extra RTT not propagated")
+	}
+	if p.DistanceKm <= 0 {
+		t.Error("distance not computed")
+	}
+}
+
+func TestPingJitter(t *testing.T) {
+	p := Path{UE: s20u(t), Network: radio.VerizonNSAmmWave, DistanceKm: 3}
+	rng := rand.New(rand.NewSource(1))
+	base := p.RTTMs()
+	for i := 0; i < 200; i++ {
+		ping := p.PingMs(rng)
+		if ping < base {
+			t.Fatal("ping below base RTT")
+		}
+		if ping > base+26 {
+			t.Fatalf("ping jitter too large: %v", ping-base)
+		}
+	}
+}
+
+func TestUplinkCapacity(t *testing.T) {
+	// §3.2: S20U uplink ~220 Mbps on mmWave.
+	p := Path{UE: s20u(t), Network: radio.VerizonNSAmmWave, DistanceKm: 3}
+	if c := p.CapacityMbps(radio.Uplink); c < 190 || c > 240 {
+		t.Errorf("uplink capacity = %v, want ~220", c)
+	}
+}

@@ -1,0 +1,185 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModeBandClassStrings(t *testing.T) {
+	if ModeLTE.String() != "LTE" || ModeNSA.String() != "NSA" || ModeSA.String() != "SA" {
+		t.Error("Mode strings wrong")
+	}
+	if ClassMmWave.String() != "mmWave" || ClassLowBand.String() != "low-band" {
+		t.Error("BandClass strings wrong")
+	}
+	if Mode(9).String() == "" || BandClass(9).String() == "" {
+		t.Error("unknown enum values should format")
+	}
+	if Downlink.String() != "DL" || Uplink.String() != "UL" {
+		t.Error("Direction strings wrong")
+	}
+}
+
+func TestRSRPMonotoneInDistance(t *testing.T) {
+	for _, b := range []Band{BandLTE, BandN71, BandN261} {
+		prev := 1000.0
+		for d := 0.05; d < b.CoverageKm; d += 0.05 {
+			r := b.RSRPAt(d, true, 0)
+			if r > prev {
+				t.Fatalf("%s: RSRP not monotone at %.2f km", b.Name, d)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestRSRPNLoSPenalty(t *testing.T) {
+	los := BandN261.RSRPAt(0.1, true, 0)
+	nlos := BandN261.RSRPAt(0.1, false, 0)
+	if los-nlos != BandN261.NLoSPenaltyDb {
+		t.Errorf("NLoS penalty = %.1f dB, want %.1f", los-nlos, BandN261.NLoSPenaltyDb)
+	}
+	// mmWave blockage is far more damaging than low-band.
+	if BandN261.NLoSPenaltyDb <= BandN71.NLoSPenaltyDb {
+		t.Error("mmWave NLoS penalty should exceed low-band's")
+	}
+}
+
+func TestRSRPFloor(t *testing.T) {
+	if got := BandN261.RSRPAt(500, false, -50); got != -140 {
+		t.Errorf("RSRP floor = %v, want -140", got)
+	}
+}
+
+func TestRSRPRealisticRanges(t *testing.T) {
+	// Near a mmWave panel with LoS, RSRP should be in the healthy range the
+	// walking dataset shows (Fig. 13: about -75 dBm and above near towers).
+	r := BandN261.RSRPAt(0.05, true, 0)
+	if r < -80 || r > -50 {
+		t.Errorf("mmWave RSRP at 50 m = %.1f dBm, want within [-80,-50]", r)
+	}
+	// At the coverage edge it should be near the band's edge RSRP.
+	re := BandN261.RSRPAt(BandN261.CoverageKm, false, -5)
+	if re > -95 {
+		t.Errorf("mmWave RSRP at coverage edge = %.1f dBm, want <= -95", re)
+	}
+	// Low-band still usable at several km.
+	rl := BandN71.RSRPAt(4.0, true, 0)
+	if BandN71.SignalQuality(rl) <= 0 {
+		t.Errorf("n71 unusable at 4 km (RSRP %.1f)", rl)
+	}
+}
+
+func TestSignalQualityBounds(t *testing.T) {
+	for _, b := range []Band{BandLTE, BandN5, BandN71, BandN41, BandN260, BandN261} {
+		if q := b.SignalQuality(b.EdgeRSRPDbm - 10); q != 0 {
+			t.Errorf("%s: quality below edge = %v, want 0", b.Name, q)
+		}
+		if q := b.SignalQuality(b.PeakRSRPDbm + 10); q != 1 {
+			t.Errorf("%s: quality above peak = %v, want 1", b.Name, q)
+		}
+		mid := (b.EdgeRSRPDbm + b.PeakRSRPDbm) / 2
+		if q := b.SignalQuality(mid); q < 0.4 || q > 0.6 {
+			t.Errorf("%s: mid-range quality = %v, want ~0.5", b.Name, q)
+		}
+	}
+}
+
+func TestSignalQualityMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := BandN261
+		r1 := -140 + rng.Float64()*90
+		r2 := -140 + rng.Float64()*90
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		return b.SignalQuality(r1) <= b.SignalQuality(r2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkCapacityScalesWithCC(t *testing.T) {
+	r := BandN261.PeakRSRPDbm
+	c4 := BandN261.LinkCapacityMbps(Downlink, 4, r)
+	c8 := BandN261.LinkCapacityMbps(Downlink, 8, r)
+	if c8 != 2*c4 {
+		t.Errorf("8CC capacity = %v, want 2x 4CC (%v)", c8, c4)
+	}
+	// 8CC mmWave at peak signal exceeds 3 Gbps (the S20U observation).
+	if c8 < 3000 {
+		t.Errorf("8CC mmWave peak = %v Mbps, want > 3000", c8)
+	}
+	// Zero/negative CC clamps to 1.
+	if got := BandN261.LinkCapacityMbps(Downlink, 0, r); got != BandN261.PeakDLMbpsPerCC {
+		t.Errorf("0CC capacity = %v, want 1CC rate", got)
+	}
+}
+
+func TestUplinkBelowDownlink(t *testing.T) {
+	for _, b := range []Band{BandLTE, BandN5, BandN71, BandN260, BandN261} {
+		if b.PeakULMbpsPerCC >= b.PeakDLMbpsPerCC {
+			t.Errorf("%s: UL per-CC >= DL per-CC", b.Name)
+		}
+	}
+}
+
+func TestAirLatencyOrdering(t *testing.T) {
+	// Paper Fig. 2: mmWave < low-band 5G < LTE; low-band is 6-8 ms above
+	// mmWave, and LTE is 6-15 ms above 5G.
+	if !(BandN261.AirRTTMs < BandN71.AirRTTMs && BandN71.AirRTTMs < BandLTE.AirRTTMs) {
+		t.Error("air RTT ordering violated")
+	}
+	d := BandN71.AirRTTMs - BandN261.AirRTTMs
+	if d < 5 || d > 9 {
+		t.Errorf("low-band minus mmWave air RTT = %.1f ms, want ~6-8", d)
+	}
+	dl := BandLTE.AirRTTMs - BandN261.AirRTTMs
+	if dl < 6 || dl > 15 {
+		t.Errorf("LTE minus mmWave air RTT = %.1f ms, want 6-15", dl)
+	}
+}
+
+func TestCoverageOrdering(t *testing.T) {
+	// Low-band covers km-scale cells; mmWave only hundreds of meters.
+	if BandN71.CoverageKm <= BandN261.CoverageKm*5 {
+		t.Error("n71 coverage should dwarf mmWave coverage")
+	}
+}
+
+func TestNetworkStringsAndKeys(t *testing.T) {
+	if VerizonNSAmmWave.Key() != "VZ/NSA/n261" {
+		t.Errorf("Key = %q", VerizonNSAmmWave.Key())
+	}
+	if TMobileSALowBand.Key() != "TM/SA/n71" {
+		t.Errorf("Key = %q", TMobileSALowBand.Key())
+	}
+	if VerizonNSAmmWave.String() == "" {
+		t.Error("empty String()")
+	}
+	seen := map[string]bool{}
+	for _, n := range AllNetworks {
+		if seen[n.Key()] {
+			t.Errorf("duplicate network key %s", n.Key())
+		}
+		seen[n.Key()] = true
+	}
+}
+
+func TestEffectiveCapacity(t *testing.T) {
+	r := BandN71.PeakRSRPDbm
+	nsa := TMobileNSALowBand.EffectiveCapacityMbps(Downlink, 2, r)
+	sa := TMobileSALowBand.EffectiveCapacityMbps(Downlink, 2, r)
+	// SA reaches about half of NSA (§3.2).
+	if sa < 0.4*nsa || sa > 0.6*nsa {
+		t.Errorf("SA capacity %v vs NSA %v: want ~half", sa, nsa)
+	}
+	// Zero CapacityScale behaves as 1 (defensive default).
+	n := Network{Carrier: Verizon, Mode: ModeLTE, Band: BandLTE}
+	if got := n.EffectiveCapacityMbps(Downlink, 1, BandLTE.PeakRSRPDbm); got != BandLTE.PeakDLMbpsPerCC {
+		t.Errorf("zero-scale capacity = %v", got)
+	}
+}

@@ -1,0 +1,316 @@
+package rrc
+
+import (
+	"math"
+	"testing"
+
+	"fivegsim/internal/radio"
+	"fivegsim/internal/sim"
+)
+
+func newM(t *testing.T, n radio.Network) (*sim.Engine, *Machine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg, err := ConfigFor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewMachine(eng, cfg)
+}
+
+func TestConfigForAllNetworks(t *testing.T) {
+	for _, n := range radio.AllNetworks {
+		cfg, err := ConfigFor(n)
+		if err != nil {
+			t.Fatalf("ConfigFor(%s): %v", n, err)
+		}
+		if cfg.TailMs <= 0 || cfg.IdleDRXMs <= 0 {
+			t.Errorf("%s: missing timers: %+v", n, cfg)
+		}
+		if cfg.TailPowerMw <= 0 {
+			t.Errorf("%s: missing tail power", n)
+		}
+	}
+	if _, err := ConfigFor(radio.Network{Carrier: "X", Band: radio.BandN41}); err == nil {
+		t.Error("ConfigFor unknown network did not error")
+	}
+}
+
+func TestMustConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustConfig did not panic for unknown network")
+		}
+	}()
+	MustConfig(radio.Network{Carrier: "X", Band: radio.BandN41})
+}
+
+func TestTable7Timers(t *testing.T) {
+	// Spot-check the canonical values from Table 7.
+	cases := []struct {
+		n                    radio.Network
+		tail, drx, idle, p4g float64
+	}{
+		{radio.TMobileSALowBand, 10400, 40, 1250, 0},
+		{radio.TMobileNSALowBand, 10400, 320, 1200, 210},
+		{radio.VerizonNSAmmWave, 10500, 320, 1280, 396},
+		{radio.VerizonNSALowBand, 10200, 400, 1100, 288},
+		{radio.TMobileLTE, 5000, 400, 1300, 190},
+		{radio.VerizonLTE, 10200, 300, 1280, 265},
+	}
+	for _, c := range cases {
+		cfg := MustConfig(c.n)
+		if cfg.TailMs != c.tail || cfg.LongDRXMs != c.drx ||
+			cfg.IdleDRXMs != c.idle || cfg.Promo4GMs != c.p4g {
+			t.Errorf("%s: got %+v", c.n, cfg)
+		}
+	}
+	// Key §4.2 finding: the SA/NSA 5G tails are ~10 s, like 4G, not 2x.
+	sa := MustConfig(radio.TMobileSALowBand)
+	vz4g := MustConfig(radio.VerizonLTE)
+	if sa.TailMs > 1.1*vz4g.TailMs {
+		t.Errorf("5G tail (%v) should be ~= 4G tail (%v), not 2x", sa.TailMs, vz4g.TailMs)
+	}
+}
+
+func TestIdlePromotionDelay(t *testing.T) {
+	eng, m := newM(t, radio.VerizonLTE)
+	if m.State() != Idle {
+		t.Fatalf("initial state = %v", m.State())
+	}
+	// At t=0 the paging cycle is phase-aligned, so delay = promo only.
+	d := m.DataActivity()
+	if math.Abs(d-0.265) > 1e-9 {
+		t.Errorf("promotion delay = %v, want 0.265", d)
+	}
+	if m.State() != Promoting {
+		t.Errorf("state after DataActivity = %v, want Promoting", m.State())
+	}
+	eng.RunUntil(d + 0.001)
+	if m.CurrentState() != Connected {
+		t.Errorf("state after promotion = %v, want Connected", m.CurrentState())
+	}
+}
+
+func TestIdlePagingAlignment(t *testing.T) {
+	eng, m := newM(t, radio.VerizonLTE) // idle DRX 1280 ms
+	// Move to a time mid-paging-cycle: at t=0.5 s, next wake is at 1.28 s.
+	eng.Schedule(0.5, func() {
+		d := m.DataActivity()
+		want := (1.28 - 0.5) + 0.265
+		if math.Abs(d-want) > 1e-9 {
+			t.Errorf("delay at t=0.5 = %v, want %v", d, want)
+		}
+	})
+	eng.Run()
+}
+
+func TestConnectedZeroDelay(t *testing.T) {
+	eng, m := newM(t, radio.VerizonLTE)
+	d := m.DataActivity()
+	eng.RunUntil(d + 0.01)
+	// Packet immediately after: continuous reception, no delay.
+	if got := m.DataActivity(); got != 0 {
+		t.Errorf("connected delay = %v, want 0", got)
+	}
+}
+
+func TestTailDemotionLTE(t *testing.T) {
+	eng, m := newM(t, radio.TMobileLTE) // tail 5 s
+	m.LogTransitions = true
+	d := m.DataActivity()
+	eng.RunUntil(d + 0.2)
+	if m.CurrentState() != TailNR {
+		t.Fatalf("state 200ms after data = %v, want TailNR", m.CurrentState())
+	}
+	eng.RunUntil(d + 5.1)
+	if m.CurrentState() != Idle {
+		t.Errorf("state after tail = %v, want Idle", m.CurrentState())
+	}
+}
+
+func TestNSATwoPhaseTail(t *testing.T) {
+	eng, m := newM(t, radio.VerizonNSALowBand) // tail 10.2 s, LTE tail to 18.8 s
+	d := m.DataActivity()
+	eng.RunUntil(d + 1)
+	if m.CurrentState() != TailNR {
+		t.Fatalf("state = %v, want TailNR", m.CurrentState())
+	}
+	eng.RunUntil(d + 11)
+	if m.CurrentState() != TailLTE {
+		t.Fatalf("state at 11 s = %v, want TailLTE", m.CurrentState())
+	}
+	if m.ActiveRadio() != Radio4G {
+		t.Errorf("radio in TailLTE = %v, want 4G", m.ActiveRadio())
+	}
+	eng.RunUntil(d + 19)
+	if m.CurrentState() != Idle {
+		t.Errorf("state at 19 s = %v, want Idle", m.CurrentState())
+	}
+}
+
+func TestSAInactiveState(t *testing.T) {
+	eng, m := newM(t, radio.TMobileSALowBand) // tail 10.4 s + 5 s inactive
+	d := m.DataActivity()
+	eng.RunUntil(d + 11)
+	if m.CurrentState() != Inactive {
+		t.Fatalf("state at 11 s = %v, want Inactive", m.CurrentState())
+	}
+	// Resume from INACTIVE is fast (~110 ms) versus a full promotion (341 ms).
+	rd := m.DataActivity()
+	if math.Abs(rd-0.110) > 1e-9 {
+		t.Errorf("resume delay = %v, want 0.110", rd)
+	}
+	// Let it decay fully to Idle this time.
+	eng.RunUntil(eng.Now() + rd + 10.4 + 5.1)
+	if m.CurrentState() != Idle {
+		t.Fatalf("state after full decay = %v, want Idle", m.CurrentState())
+	}
+	// From Idle, promotion is the full 341 ms (phase-aligned at cycle edge
+	// or not; just check it's >= promo).
+	id := m.DataActivity()
+	if id < 0.341-1e-9 {
+		t.Errorf("idle promotion = %v, want >= 0.341", id)
+	}
+}
+
+func TestNSA5GAttachTiming(t *testing.T) {
+	eng, m := newM(t, radio.TMobileNSALowBand) // 4G promo 210 ms, 5G promo 1440 ms
+	d := m.DataActivity()
+	if math.Abs(d-0.210) > 1e-9 {
+		t.Fatalf("NSA first-packet delay = %v, want 0.210 (4G promo)", d)
+	}
+	eng.RunUntil(0.3)
+	if m.ActiveRadio() != Radio4G {
+		t.Errorf("radio at 300 ms = %v, want 4G (NR not attached yet)", m.ActiveRadio())
+	}
+	m.DataActivity() // keep the connection alive
+	eng.RunUntil(1.5)
+	if m.ActiveRadio() != Radio5G {
+		t.Errorf("radio at 1.5 s = %v, want 5G", m.ActiveRadio())
+	}
+}
+
+func TestDSSImmediateNR(t *testing.T) {
+	eng, m := newM(t, radio.VerizonNSALowBand) // Promo5GMs == 0 (DSS)
+	d := m.DataActivity()
+	eng.RunUntil(d + 0.01)
+	if m.ActiveRadio() != Radio5G {
+		t.Errorf("DSS radio right after promotion = %v, want 5G", m.ActiveRadio())
+	}
+}
+
+func TestLTENeverNR(t *testing.T) {
+	eng, m := newM(t, radio.VerizonLTE)
+	d := m.DataActivity()
+	eng.RunUntil(d + 1)
+	m.DataActivity()
+	eng.RunUntil(d + 100)
+	if m.ActiveRadio() == Radio5G {
+		t.Error("LTE network reported a 5G radio")
+	}
+}
+
+func TestTailDRXWait(t *testing.T) {
+	eng, m := newM(t, radio.VerizonNSAmmWave) // long DRX 320 ms
+	d := m.DataActivity()
+	eng.RunUntil(d + 0.01)
+	m.DataActivity()
+	base := eng.Now()
+	// 3 s into the tail: DRX phase started at lastData+0.1.
+	eng.RunUntil(base + 3.0)
+	got := m.DataActivity()
+	// Wait must be within one long-DRX cycle.
+	if got < 0 || got > 0.320+1e-9 {
+		t.Errorf("tail DRX wait = %v, want within [0, 0.320]", got)
+	}
+}
+
+func TestIdlePowerOrdering(t *testing.T) {
+	// Table 2: mmWave tail power dwarfs the others; 5G tails above 4G tails
+	// for the same carrier.
+	mm := MustConfig(radio.VerizonNSAmmWave)
+	vzLB := MustConfig(radio.VerizonNSALowBand)
+	vz4G := MustConfig(radio.VerizonLTE)
+	tmNSA := MustConfig(radio.TMobileNSALowBand)
+	tm4G := MustConfig(radio.TMobileLTE)
+	if !(mm.TailPowerMw > vzLB.TailPowerMw && vzLB.TailPowerMw > vz4G.TailPowerMw) {
+		t.Error("Verizon tail power ordering violated")
+	}
+	if tmNSA.TailPowerMw <= tm4G.TailPowerMw {
+		t.Error("T-Mobile NSA tail power should exceed 4G")
+	}
+}
+
+func TestRadioPowerByState(t *testing.T) {
+	eng, m := newM(t, radio.TMobileSALowBand)
+	if got := m.RadioPowerMw(); got != 18 {
+		t.Errorf("idle power = %v, want 18", got)
+	}
+	d := m.DataActivity()
+	if got := m.RadioPowerMw(); got != 245 {
+		t.Errorf("promoting power = %v, want switch power 245", got)
+	}
+	eng.RunUntil(d + 0.5)
+	if got := m.RadioPowerMw(); got != 593 {
+		t.Errorf("tail power = %v, want 593", got)
+	}
+	eng.RunUntil(d + 11)
+	if got := m.RadioPowerMw(); got != 45 {
+		t.Errorf("inactive power = %v, want 45", got)
+	}
+}
+
+func TestTransitionLog(t *testing.T) {
+	eng, m := newM(t, radio.TMobileLTE)
+	m.LogTransitions = true
+	d := m.DataActivity()
+	eng.RunUntil(d + 6)
+	m.CurrentState() // force refresh
+	// Expect Idle->Promoting->Connected->TailNR->Idle.
+	want := []State{Promoting, Connected, TailNR, Idle}
+	if len(m.Log) != len(want) {
+		t.Fatalf("log = %v", m.Log)
+	}
+	for i, tr := range m.Log {
+		if tr.To != want[i] {
+			t.Errorf("transition %d = %v, want to %v", i, tr, want[i])
+		}
+	}
+	// Transitions are time-ordered.
+	for i := 1; i < len(m.Log); i++ {
+		if m.Log[i].At < m.Log[i-1].At {
+			t.Error("transition log not time-ordered")
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Idle.String() != "RRC_IDLE" || Connected.String() != "RRC_CONNECTED" ||
+		Inactive.String() != "RRC_INACTIVE" {
+		t.Error("state strings wrong")
+	}
+	if Radio4G.String() != "4G" || Radio5G.String() != "5G" || RadioNone.String() != "none" {
+		t.Error("radio strings wrong")
+	}
+	if State(42).String() == "" {
+		t.Error("unknown state should format")
+	}
+}
+
+func TestRepeatedCyclesStable(t *testing.T) {
+	// Run many promote/demote cycles; the machine must keep functioning and
+	// end every cycle back in Idle.
+	eng, m := newM(t, radio.TMobileNSALowBand)
+	for i := 0; i < 20; i++ {
+		d := m.DataActivity()
+		eng.RunUntil(eng.Now() + d + 0.01)
+		if m.CurrentState() != Connected {
+			t.Fatalf("cycle %d: state %v after promotion", i, m.CurrentState())
+		}
+		eng.RunUntil(eng.Now() + 13) // beyond LTE tail 12.12 s
+		if m.CurrentState() != Idle {
+			t.Fatalf("cycle %d: state %v after decay, want Idle", i, m.CurrentState())
+		}
+	}
+}

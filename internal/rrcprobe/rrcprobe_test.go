@@ -1,0 +1,305 @@
+package rrcprobe
+
+import (
+	"math"
+	"testing"
+
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rrc"
+)
+
+func prober(t *testing.T, n radio.Network, seed int64) *Prober {
+	t.Helper()
+	p, err := New(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func infer(t *testing.T, n radio.Network, maxGap float64) Inference {
+	t.Helper()
+	p := prober(t, n, 1)
+	samples := p.Run(maxGap, 0.5, 25)
+	inf, err := Infer(samples)
+	if err != nil {
+		t.Fatalf("%s: %v", n, err)
+	}
+	return inf
+}
+
+func TestNewUnknownNetwork(t *testing.T) {
+	if _, err := New(radio.Network{Carrier: "X", Band: radio.BandN41}, 1); err == nil {
+		t.Error("New with unknown network did not error")
+	}
+}
+
+func TestInferEmpty(t *testing.T) {
+	if _, err := Infer(nil); err == nil {
+		t.Error("Infer(nil) did not error")
+	}
+}
+
+func TestInferSweepTooShort(t *testing.T) {
+	// A sweep that never leaves the connected state cannot be inferred.
+	p := prober(t, radio.VerizonLTE, 1)
+	samples := p.Run(3, 0.5, 10)
+	if _, err := Infer(samples); err == nil {
+		t.Error("Infer on a too-short sweep did not error")
+	}
+}
+
+func TestTailInferenceMatchesTable7(t *testing.T) {
+	// Inferred tail timers must match the configured (Table 7) values
+	// within the 0.5 s gap resolution (plus the 0.4 s probe offset).
+	cases := []struct {
+		n      radio.Network
+		maxGap float64
+		tail   float64
+	}{
+		{radio.TMobileSALowBand, 18, 10.4},
+		{radio.TMobileNSALowBand, 16, 10.4},
+		{radio.VerizonNSAmmWave, 16, 10.5},
+		{radio.VerizonNSALowBand, 24, 10.2},
+		{radio.TMobileLTE, 10, 5.0},
+		{radio.VerizonLTE, 16, 10.2},
+	}
+	for _, c := range cases {
+		inf := infer(t, c.n, c.maxGap)
+		if math.Abs(inf.TailS-c.tail) > 1.0 {
+			t.Errorf("%s: inferred tail %.1f s, want %.1f +/- 1.0", c.n, inf.TailS, c.tail)
+		}
+	}
+}
+
+func TestSAInactiveWindow(t *testing.T) {
+	// §4.2: T-Mobile SA sits in RRC_INACTIVE for ~5 s (gaps 10-15 s)
+	// before reaching RRC_IDLE.
+	inf := infer(t, radio.TMobileSALowBand, 18)
+	if inf.InactiveUntilS == 0 {
+		t.Fatal("no RRC_INACTIVE window inferred for SA")
+	}
+	window := inf.InactiveUntilS - inf.TailS
+	if window < 4 || window > 6.5 {
+		t.Errorf("INACTIVE window = %.1f s, want ~5", window)
+	}
+	if inf.LTETailS != 0 {
+		t.Error("SA network inferred an LTE tail")
+	}
+}
+
+func TestNSADualTail(t *testing.T) {
+	// Table 7 brackets: T-Mobile NSA LTE tail to 12.12 s; Verizon NSA
+	// low-band to 18.8 s.
+	inf := infer(t, radio.TMobileNSALowBand, 16)
+	if inf.LTETailS == 0 {
+		t.Fatal("no LTE tail inferred for T-Mobile NSA")
+	}
+	if math.Abs(inf.LTETailS-12.12) > 1.2 {
+		t.Errorf("TM NSA LTE tail = %.1f s, want ~12.1", inf.LTETailS)
+	}
+	if inf.InactiveUntilS != 0 {
+		t.Error("NSA network inferred an INACTIVE window")
+	}
+
+	inf = infer(t, radio.VerizonNSALowBand, 24)
+	if inf.LTETailS == 0 {
+		t.Fatal("no LTE tail inferred for Verizon NSA low-band")
+	}
+	if math.Abs(inf.LTETailS-18.8) > 1.2 {
+		t.Errorf("VZ NSA LB LTE tail = %.1f s, want ~18.8", inf.LTETailS)
+	}
+}
+
+func TestMmWaveNoIntermediateState(t *testing.T) {
+	inf := infer(t, radio.VerizonNSAmmWave, 16)
+	if inf.LTETailS != 0 || inf.InactiveUntilS != 0 {
+		t.Errorf("mmWave inferred intermediate states: %+v", inf)
+	}
+}
+
+func TestLTENoIntermediateState(t *testing.T) {
+	for _, n := range []radio.Network{radio.TMobileLTE, radio.VerizonLTE} {
+		inf := infer(t, n, 16)
+		if inf.LTETailS != 0 || inf.InactiveUntilS != 0 {
+			t.Errorf("%s inferred intermediate states: %+v", n, inf)
+		}
+	}
+}
+
+func TestFiveGTailNotDoubled(t *testing.T) {
+	// The paper's correction of Xu et al.: the measured 5G tails are ~10 s
+	// like 4G, not 20 s.
+	sa := infer(t, radio.TMobileSALowBand, 18)
+	vz4g := infer(t, radio.VerizonLTE, 16)
+	if sa.TailS > 1.3*vz4g.TailS {
+		t.Errorf("5G tail (%.1f) looks doubled vs 4G (%.1f)", sa.TailS, vz4g.TailS)
+	}
+}
+
+func TestPromotionDelays(t *testing.T) {
+	// Table 7 promotion delays, measured at a paging-aligned instant.
+	cases := []struct {
+		n    radio.Network
+		want float64
+	}{
+		{radio.TMobileSALowBand, 341},
+		{radio.TMobileNSALowBand, 210},
+		{radio.VerizonNSAmmWave, 396},
+		{radio.VerizonNSALowBand, 288},
+		{radio.TMobileLTE, 190},
+		{radio.VerizonLTE, 265},
+	}
+	for _, c := range cases {
+		p := prober(t, c.n, 1)
+		got := p.MeasurePromoIdle()
+		if math.Abs(got-c.want) > 1 {
+			t.Errorf("%s: idle promotion = %.0f ms, want %.0f", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPromo5G(t *testing.T) {
+	cases := []struct {
+		n    radio.Network
+		want float64
+		tol  float64
+	}{
+		{radio.TMobileSALowBand, 341, 15},
+		{radio.TMobileNSALowBand, 1440, 15},
+		{radio.VerizonNSAmmWave, 1907, 15},
+		{radio.VerizonNSALowBand, 288, 15}, // DSS: NR arrives with the LTE attach
+	}
+	for _, c := range cases {
+		p := prober(t, c.n, 1)
+		got, ok := p.MeasurePromo5G()
+		if !ok {
+			t.Errorf("%s: MeasurePromo5G not ok", c.n)
+			continue
+		}
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s: 5G promotion = %.0f ms, want %.0f", c.n, got, c.want)
+		}
+	}
+	// LTE-only networks have no 5G promotion.
+	p := prober(t, radio.VerizonLTE, 1)
+	if _, ok := p.MeasurePromo5G(); ok {
+		t.Error("LTE network reported a 5G promotion")
+	}
+}
+
+func TestNSARepliesOver4GInLTETail(t *testing.T) {
+	// Appendix A.3: in the bracketed NSA tail region packets arrive over
+	// the 4G interface with higher latency.
+	p := prober(t, radio.TMobileNSALowBand, 3)
+	s := p.ProbeOnce(11.2) // inside (10.4, 12.12)
+	if s.Radio != rrc.Radio4G {
+		t.Errorf("reply radio in LTE tail = %v, want 4G", s.Radio)
+	}
+	if s.State != rrc.TailLTE {
+		t.Errorf("ground-truth state = %v, want TailLTE", s.State)
+	}
+}
+
+func TestProbeRTTLevelsOrdered(t *testing.T) {
+	// Connected < inactive resume < idle promotion for SA.
+	p := prober(t, radio.TMobileSALowBand, 4)
+	minAt := func(gap float64) float64 {
+		m := math.Inf(1)
+		for i := 0; i < 20; i++ {
+			if s := p.ProbeOnce(gap); s.RTTMs < m {
+				m = s.RTTMs
+			}
+		}
+		return m
+	}
+	conn := minAt(1)
+	inact := minAt(12.5)
+	idle := minAt(17)
+	if !(conn < inact && inact < idle) {
+		t.Errorf("RTT floors not ordered: conn=%.1f inact=%.1f idle=%.1f", conn, inact, idle)
+	}
+	// Inactive resume is ~110 ms above connected.
+	if d := inact - conn; d < 90 || d > 140 {
+		t.Errorf("inactive step = %.1f ms, want ~110", d)
+	}
+}
+
+func TestRunSampleCount(t *testing.T) {
+	p := prober(t, radio.VerizonLTE, 5)
+	samples := p.Run(4, 1, 3)
+	if len(samples) != 15 { // gaps 0,1,2,3,4 x 3
+		t.Errorf("samples = %d, want 15", len(samples))
+	}
+	samples = p.Run(2, 1, 0) // perGap clamped to 1
+	if len(samples) != 3 {
+		t.Errorf("samples = %d, want 3", len(samples))
+	}
+}
+
+func TestGroundTruthStatesRecorded(t *testing.T) {
+	p := prober(t, radio.TMobileSALowBand, 6)
+	seen := map[rrc.State]bool{}
+	for _, s := range p.Run(18, 0.5, 10) {
+		seen[s.State] = true
+	}
+	for _, want := range []rrc.State{rrc.TailNR, rrc.Inactive, rrc.Idle} {
+		if !seen[want] {
+			t.Errorf("sweep never observed state %v", want)
+		}
+	}
+}
+
+func TestInferenceStateAt(t *testing.T) {
+	inf := Inference{TailS: 10.4, InactiveUntilS: 15.4}
+	cases := []struct {
+		gap  float64
+		want rrc.State
+	}{
+		{1, rrc.TailNR}, {10, rrc.TailNR}, {11, rrc.Inactive},
+		{15, rrc.Inactive}, {16, rrc.Idle},
+	}
+	for _, c := range cases {
+		if got := inf.StateAt(c.gap); got != c.want {
+			t.Errorf("StateAt(%v) = %v, want %v", c.gap, got, c.want)
+		}
+	}
+	nsa := Inference{TailS: 10.4, LTETailS: 12.1}
+	if nsa.StateAt(11) != rrc.TailLTE || nsa.StateAt(13) != rrc.Idle {
+		t.Error("NSA StateAt regions wrong")
+	}
+	lte := Inference{TailS: 5}
+	if lte.StateAt(2) != rrc.TailNR || lte.StateAt(6) != rrc.Idle {
+		t.Error("LTE StateAt regions wrong")
+	}
+}
+
+func TestInferenceAccuracyAgainstGroundTruth(t *testing.T) {
+	// The inferred state regions must classify >= 95% of the probes
+	// correctly (excluding the blurred boundary band).
+	for _, n := range radio.AllNetworks {
+		p := prober(t, n, 1)
+		maxGap := 16.0
+		switch n.Key() {
+		case radio.VerizonNSALowBand.Key():
+			maxGap = 24
+		case radio.TMobileSALowBand.Key():
+			maxGap = 18
+		}
+		samples := p.Run(maxGap, 0.5, 25)
+		inf, err := Infer(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if acc := inf.Accuracy(samples, 0.8); acc < 0.95 {
+			t.Errorf("%s: state classification accuracy = %.3f, want >= 0.95", n, acc)
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	var inf Inference
+	if inf.Accuracy(nil, 0.5) != 0 {
+		t.Error("accuracy of no samples should be 0")
+	}
+}

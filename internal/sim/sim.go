@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All simulations in this repository (radio links, RRC state machines,
+// transport flows, video players, page loads) run on top of this kernel so
+// that every experiment is reproducible bit-for-bit from a seed. Time is
+// modelled as float64 seconds since the start of the simulation.
+//
+// The kernel is intentionally single-threaded: events execute in strict
+// (time, insertion-order) sequence, which keeps the causality of an
+// experiment trivially auditable. Concurrency in the modelled system is
+// expressed as interleaved events, not goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero value is not usable; events are
+// created via Engine.Schedule or Engine.At.
+type Event struct {
+	// Time is the absolute simulation time (seconds) at which the event
+	// fires.
+	Time float64
+	// Name optionally labels the event for tracing and debugging.
+	Name string
+
+	fn        func()
+	seq       uint64
+	index     int // heap index; -1 once removed
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before it fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+
+	// Processed counts the number of events executed so far.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule registers fn to run delay seconds from now. A negative delay is
+// treated as zero (the event runs "immediately", after already-queued events
+// at the current time). It returns a handle usable with Cancel.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// ScheduleNamed is Schedule with a debug label attached to the event.
+func (e *Engine) ScheduleNamed(name string, delay float64, fn func()) *Event {
+	ev := e.Schedule(delay, fn)
+	ev.Name = name
+	return ev
+}
+
+// At registers fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug, and silently reordering history would
+// corrupt the experiment.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, e.now))
+	}
+	e.seq++
+	ev := &Event{Time: t, fn: fn, seq: e.seq}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.pq, ev.index)
+}
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// PeekTime returns the firing time of the next queued event, or ok=false if
+// the calendar is empty.
+func (e *Engine) PeekTime() (t float64, ok bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].Time, true
+}
+
+// Step executes the next event, advancing the clock to its time. It returns
+// false if no events remain or the engine was stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*Event)
+	e.now = ev.Time
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the calendar drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with Time <= t and then advances the clock to
+// exactly t. Events scheduled at times beyond t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	for !e.stopped && len(e.pq) > 0 && e.pq[0].Time <= t {
+		e.Step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Timer is a restartable one-shot timer bound to an engine, mirroring the
+// inactivity timers of cellular radio state machines. Restarting an armed
+// timer cancels the previous deadline.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer creates a timer that invokes fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d seconds.
+func (t *Timer) Reset(d float64) {
+	t.Stop()
+	t.ev = t.eng.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. Stopping an idle timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer currently has a pending deadline.
+func (t *Timer) Armed() bool { return t.ev != nil }

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(2.0, func() { got = append(got, 2) })
+	e.Schedule(1.0, func() { got = append(got, 1) })
+	e.Schedule(3.0, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3.0 {
+		t.Errorf("Now() = %v, want 3.0", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1.0, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	// Double cancel is a no-op.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = e.Schedule(float64(i), func() { got = append(got, i) })
+	}
+	e.Cancel(evs[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	e.RunUntil(5.5)
+	if count != 5 {
+		t.Errorf("RunUntil(5.5) ran %d events, want 5", count)
+	}
+	if e.Now() != 5.5 {
+		t.Errorf("Now() = %v, want 5.5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending() = %d, want 5", e.Pending())
+	}
+	e.RunUntil(100)
+	if count != 10 {
+		t.Errorf("after second RunUntil count = %d, want 10", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Errorf("nested times = %v, want [1 2]", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At() in the past did not panic")
+		}
+	}()
+	e.At(1.0, func() {})
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(10, func() {
+		e.Schedule(-5, func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("count after Stop = %d, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.PeekTime(); ok {
+		t.Error("PeekTime on empty calendar returned ok")
+	}
+	e.Schedule(4, func() {})
+	e.Schedule(2, func() {})
+	if tm, ok := e.PeekTime(); !ok || tm != 2 {
+		t.Errorf("PeekTime = %v,%v want 2,true", tm, ok)
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Reset(5)
+	// Reset before expiry postpones the deadline.
+	e.Schedule(3, func() { tm.Reset(5) })
+	e.RunUntil(7)
+	if fires != 0 {
+		t.Fatalf("timer fired at %v despite reset", e.Now())
+	}
+	e.RunUntil(8.5)
+	if fires != 1 {
+		t.Fatalf("timer fires = %d, want 1 (deadline 8)", fires)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+	tm.Reset(2)
+	tm.Stop()
+	e.RunUntil(20)
+	if fires != 1 {
+		t.Error("stopped timer fired")
+	}
+}
+
+// Property: for any batch of events with random times, execution order is the
+// nondecreasing sort of those times.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		k := int(n%50) + 1
+		times := make([]float64, k)
+		var fired []float64
+		for i := 0; i < k; i++ {
+			times[i] = rng.Float64() * 100
+			e.Schedule(times[i], func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		sort.Float64s(times)
+		if len(fired) != k {
+			return false
+		}
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Processed equals the number of scheduled minus cancelled events.
+func TestProcessedCountProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		k := int(n%40) + 2
+		evs := make([]*Event, k)
+		for i := 0; i < k; i++ {
+			evs[i] = e.Schedule(rng.Float64()*10, func() {})
+		}
+		cancelled := 0
+		for i := 0; i < k; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled++
+			}
+		}
+		e.Run()
+		return e.Processed == uint64(k-cancelled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package speedtest reimplements the paper's Ookla-Speedtest-based
+// measurement methodology (§3.1): latency probes plus 15-second
+// downlink/uplink bulk tests against a chosen server, in single- or
+// multi-connection mode, repeated >= 10 times per configuration with the
+// 95th percentile reported as the peak-performance metric.
+//
+// Like the real service, the multi-connection mode opens an undisclosed
+// 15-25 TCP connections; the single-connection mode uses one. Carrier-hosted
+// servers are reached inside the carrier network (no Internet-side
+// bottleneck); third-party servers can be port-capped (Fig. 24).
+package speedtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fivegsim/internal/device"
+	"fivegsim/internal/geo"
+	"fivegsim/internal/netpath"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/stats"
+	"fivegsim/internal/transport"
+)
+
+// ConnMode selects the Speedtest connection strategy.
+type ConnMode int
+
+const (
+	// Single uses one TCP connection.
+	Single ConnMode = iota
+	// Multi uses 15-25 parallel TCP connections (Speedtest picks the
+	// count; the algorithm is not disclosed).
+	Multi
+)
+
+func (m ConnMode) String() string {
+	if m == Multi {
+		return "multiple"
+	}
+	return "single"
+}
+
+// Client runs Speedtest-style measurements for one UE on one network.
+type Client struct {
+	UE      device.Spec
+	Network radio.Network
+	Loc     geo.Point
+	// RSRPDbm is the signal at the test location; 0 means clear-LoS peak
+	// (the stationary outdoor methodology of §3.1).
+	RSRPDbm float64
+	// WmemBytes is the server-side TCP send buffer. Zero means tuned:
+	// production Speedtest servers are provisioned for high-BDP paths.
+	WmemBytes float64
+
+	rng *rand.Rand
+}
+
+// NewClient returns a client with a deterministic random source.
+func NewClient(ue device.Spec, n radio.Network, loc geo.Point, seed int64) *Client {
+	return &Client{UE: ue, Network: n, Loc: loc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Measurement is the result of one Speedtest run.
+type Measurement struct {
+	Server     geo.Server
+	DistanceKm float64
+	Mode       ConnMode
+	RTTMs      float64 // lowest of the latency probes (Speedtest's metric)
+	DLMbps     float64
+	ULMbps     float64
+	Conns      int // connections actually used
+}
+
+// path builds the netpath for a server with per-run signal variation.
+func (c *Client) path(s geo.Server) netpath.Path {
+	p := netpath.New(c.UE, c.Network, c.Loc, s)
+	rsrp := c.RSRPDbm
+	if rsrp == 0 {
+		rsrp = c.Network.Band.PeakRSRPDbm
+	}
+	// Per-run fading wiggle: even stationary LoS links breathe a little.
+	p.RSRPDbm = rsrp - c.rng.Float64()*3
+	return p
+}
+
+// Run performs one full test (latency + downlink + uplink) against a server.
+func (c *Client) Run(s geo.Server, mode ConnMode) Measurement {
+	p := c.path(s)
+	m := Measurement{Server: s, DistanceKm: p.DistanceKm, Mode: mode}
+
+	// Latency: Speedtest reports the lowest of several probes.
+	m.RTTMs = p.PingMs(c.rng)
+	for i := 0; i < 4; i++ {
+		if v := p.PingMs(c.rng); v < m.RTTMs {
+			m.RTTMs = v
+		}
+	}
+
+	conns := 1
+	if mode == Multi {
+		conns = 15 + c.rng.Intn(11) // 15..25, undisclosed algorithm
+	}
+	m.Conns = conns
+	wmem := c.WmemBytes
+	if wmem == 0 {
+		wmem = transport.TunedWmemBytes
+	}
+
+	dl := transport.SimulateTCP(p.Params(radio.Downlink), transport.TCPOptions{
+		Flows: conns, WmemBytes: wmem}, c.rng)
+	m.DLMbps = dl.MeanMbps
+	ul := transport.SimulateTCP(p.Params(radio.Uplink), transport.TCPOptions{
+		Flows: conns, WmemBytes: wmem}, c.rng)
+	m.ULMbps = ul.MeanMbps
+	return m
+}
+
+// Summary aggregates repeated runs against one server, reporting the paper's
+// peak metric: the 95th percentile across runs (§3.1), plus the median RTT.
+type Summary struct {
+	Server     geo.Server
+	DistanceKm float64
+	Mode       ConnMode
+	Runs       int
+	RTTMs      float64 // median across runs (of per-run minimum pings)
+	DLp95Mbps  float64
+	ULp95Mbps  float64
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%-36s %7.0f km  rtt %5.1f ms  DL %7.1f  UL %6.1f Mbps (%s)",
+		s.Server.Name, s.DistanceKm, s.RTTMs, s.DLp95Mbps, s.ULp95Mbps, s.Mode)
+}
+
+// Repeat runs n tests against a server and summarises them. The paper
+// repeats each <UE, carrier, server, mode> setting at least 10 times.
+func (c *Client) Repeat(s geo.Server, mode ConnMode, n int) Summary {
+	if n < 1 {
+		n = 1
+	}
+	var rtts, dls, uls []float64
+	for i := 0; i < n; i++ {
+		m := c.Run(s, mode)
+		rtts = append(rtts, m.RTTMs)
+		dls = append(dls, m.DLMbps)
+		uls = append(uls, m.ULMbps)
+	}
+	p := c.path(s)
+	return Summary{
+		Server: s, DistanceKm: p.DistanceKm, Mode: mode, Runs: n,
+		RTTMs:     stats.Median(rtts),
+		DLp95Mbps: stats.Percentile(dls, 95),
+		ULp95Mbps: stats.Percentile(uls, 95),
+	}
+}
+
+// Campaign measures every server in the pool with n repeats per server.
+func (c *Client) Campaign(servers []geo.Server, mode ConnMode, n int) []Summary {
+	out := make([]Summary, 0, len(servers))
+	for _, s := range servers {
+		out = append(out, c.Repeat(s, mode, n))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBBRNearCapacityShortRTT(t *testing.T) {
+	p := mmWavePath(0.012)
+	r := SimulateBBR(p, TCPOptions{Flows: 1, WmemBytes: 64 << 20},
+		rand.New(rand.NewSource(1)))
+	if r.MeanMbps < 0.85*p.CapacityMbps {
+		t.Errorf("BBR at 12 ms = %v, want >= 85%% of %v", r.MeanMbps, p.CapacityMbps)
+	}
+}
+
+func TestBBRBeatsCUBICSingleConn(t *testing.T) {
+	// The §3.2 what-if: a rate-based controller does not pay CUBIC's
+	// loss-response tax on mmWave paths, at any distance.
+	for _, rtt := range []float64{0.015, 0.030, 0.055} {
+		p := mmWavePath(rtt)
+		opts := TCPOptions{Flows: 1, WmemBytes: 64 << 20}
+		var bbr, cubic float64
+		for i := int64(0); i < 5; i++ {
+			bbr += SimulateBBR(p, opts, rand.New(rand.NewSource(i+1))).MeanMbps
+			cubic += SimulateTCP(p, opts, rand.New(rand.NewSource(i+1))).MeanMbps
+		}
+		if bbr <= cubic {
+			t.Errorf("rtt=%v: BBR %v <= CUBIC %v", rtt, bbr/5, cubic/5)
+		}
+	}
+}
+
+func TestBBRFlatAcrossDistanceWithBigBuffer(t *testing.T) {
+	// With the window out of the way, BBR's rate barely depends on RTT —
+	// unlike CUBIC's steep decay (Fig. 3/8).
+	p1 := mmWavePath(0.012)
+	p2 := mmWavePath(0.055)
+	opts := TCPOptions{Flows: 1, WmemBytes: 64 << 20}
+	near := SimulateBBR(p1, opts, rand.New(rand.NewSource(3))).MeanMbps
+	far := SimulateBBR(p2, opts, rand.New(rand.NewSource(3))).MeanMbps
+	if far < 0.7*near {
+		t.Errorf("BBR decays too much with distance: %v -> %v", near, far)
+	}
+}
+
+func TestBBRRespectsSendBuffer(t *testing.T) {
+	// The socket buffer caps BBR too: with the default 4 MiB wmem at long
+	// RTT it is window-limited like any sender.
+	p := mmWavePath(0.050)
+	r := SimulateBBR(p, TCPOptions{Flows: 1}, rand.New(rand.NewSource(1)))
+	wndLimit := float64(DefaultWmemBytes) * wndFraction * 8 / 0.050 / 1e6
+	if r.MeanMbps > wndLimit*1.15 {
+		t.Errorf("BBR %v exceeds the window limit %v", r.MeanMbps, wndLimit)
+	}
+}
+
+func TestBBRBoundedByCapacityProperty(t *testing.T) {
+	f := func(seed int64, rttMs uint8, flows8 uint8) bool {
+		rtt := (float64(rttMs%80) + 5) / 1000
+		flows := int(flows8%8) + 1
+		p := mmWavePath(rtt)
+		r := SimulateBBR(p, TCPOptions{Flows: flows, DurationS: 8, WmemBytes: 64 << 20},
+			rand.New(rand.NewSource(seed)))
+		if r.MeanMbps > p.CapacityMbps*1.01 || r.MeanMbps <= 0 {
+			return false
+		}
+		for _, v := range r.PerSecondMbps {
+			if v < 0 || v > p.CapacityMbps*1.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBRDeterministic(t *testing.T) {
+	p := mmWavePath(0.020)
+	a := SimulateBBR(p, TCPOptions{Flows: 2}, rand.New(rand.NewSource(9)))
+	b := SimulateBBR(p, TCPOptions{Flows: 2}, rand.New(rand.NewSource(9)))
+	if a.MeanMbps != b.MeanMbps {
+		t.Error("BBR simulation not deterministic")
+	}
+}
