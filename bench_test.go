@@ -77,6 +77,30 @@ func BenchmarkExtensionBBR(b *testing.B)            { benchExperiment(b, "extens
 func BenchmarkExtensionAbandon(b *testing.B)        { benchExperiment(b, "extension-abandon") }
 func BenchmarkLongitudinal(b *testing.B)            { benchExperiment(b, "longitudinal") }
 
+// Whole-campaign runners: the serial baseline and the worker-pool runner
+// (GOMAXPROCS workers). On a multi-core machine the parallel battery should
+// finish several times faster with byte-identical tables (asserted by
+// TestParallelMatchesSerialByteForByte in internal/experiments).
+func BenchmarkRunAllSerial(b *testing.B) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ts := experiments.RunAll(cfg); len(ts) == 0 {
+			b.Fatal("RunAll produced no tables")
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.RunAllParallel(cfg, 0); len(rs) == 0 {
+			b.Fatal("RunAllParallel produced no results")
+		}
+	}
+}
+
 // §6: web browsing.
 func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
 func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }

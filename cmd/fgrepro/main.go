@@ -6,17 +6,26 @@
 //	fgrepro list                 # list experiment ids
 //	fgrepro run fig11 table7     # run specific experiments
 //	fgrepro all                  # run everything
+//	fgrepro all -parallel 0      # run everything on all cores
 //
 // Flags:
 //
-//	-seed N   random seed (default 1)
-//	-quick    reduced repeats for a fast pass
+//	-seed N       random seed (default 1)
+//	-quick        reduced repeats for a fast pass
+//	-parallel N   run N experiments concurrently (0 = GOMAXPROCS, 1 = serial)
+//	-stats        per-experiment wall time and event counts on stderr
+//
+// Output is byte-identical for any -parallel value: experiments fan out
+// over a worker pool but are reassembled in sorted id order, and every
+// experiment is deterministic given -seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
+	"time"
 
 	"fivegsim/internal/experiments"
 )
@@ -24,6 +33,8 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced repeats for a fast pass")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print per-experiment wall time and event counts to stderr")
 	flag.Usage = usage
 	flag.Parse()
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
@@ -33,33 +44,56 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Accept flags on either side of the subcommand (`fgrepro -quick all`
+	// and `fgrepro all -parallel 4` both work): the standard flag package
+	// stops at the first positional argument, so re-parse what follows it.
+	if err := flag.CommandLine.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+	cfg = experiments.Config{Seed: *seed, Quick: *quick}
+	rest := flag.Args()
 	switch args[0] {
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 	case "all":
-		for _, t := range experiments.RunAll(cfg) {
-			fmt.Println(t)
-		}
+		runBattery(cfg, experiments.IDs(), *parallel, *stats)
 	case "run":
-		if len(args) < 2 {
+		if len(rest) == 0 {
 			fmt.Fprintln(os.Stderr, "fgrepro run: need at least one experiment id")
 			os.Exit(2)
 		}
-		for _, id := range args[1:] {
-			ts, err := experiments.Run(id, cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "fgrepro:", err)
-				os.Exit(1)
-			}
-			for _, t := range ts {
-				fmt.Println(t)
-			}
-		}
+		runBattery(cfg, rest, *parallel, *stats)
 	default:
 		usage()
 		os.Exit(2)
+	}
+}
+
+// runBattery executes ids over the worker pool and prints the tables in
+// input order, optionally followed by a per-experiment campaign summary.
+func runBattery(cfg experiments.Config, ids []string, workers int, stats bool) {
+	results, err := experiments.RunMany(cfg, ids, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgrepro:", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		for _, t := range r.Tables {
+			fmt.Println(t)
+		}
+	}
+	if stats {
+		w := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "experiment\twall\tevents")
+		var events uint64
+		for _, r := range results {
+			events += r.Events
+			fmt.Fprintf(w, "%s\t%v\t%d\n", r.ID, r.Wall.Round(10*time.Microsecond), r.Events)
+		}
+		fmt.Fprintf(w, "total\t\t%d\n", events)
+		w.Flush()
 	}
 }
 
@@ -72,7 +106,9 @@ usage:
   fgrepro [flags] all
 
 flags:
-  -seed N   random seed (default 1)
-  -quick    reduced repeats for a fast pass
+  -seed N       random seed (default 1)
+  -quick        reduced repeats for a fast pass
+  -parallel N   experiments to run concurrently (0 = GOMAXPROCS, 1 = serial)
+  -stats        per-experiment wall time and event counts on stderr
 `)
 }

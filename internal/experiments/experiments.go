@@ -51,13 +51,21 @@ func (t *Table) AddRow(cells ...string) {
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
+	// Size widths to the widest row, not just the header: rows may carry
+	// more cells than the header has columns, and those must align too.
+	ncols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

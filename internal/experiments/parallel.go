@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fivegsim/internal/sim"
+)
+
+// Result is one executed experiment with its campaign accounting.
+type Result struct {
+	// ID is the experiment id the tables came from.
+	ID string
+	// Tables are the rendered results, identical to what Run(ID, cfg)
+	// returns for the same Config.
+	Tables []*Table
+	// Wall is the host wall-clock time the experiment took.
+	Wall time.Duration
+	// Events is the number of simulation events the experiment's engines
+	// processed.
+	Events uint64
+}
+
+// Render returns the experiment's tables concatenated, each rendered
+// exactly as the fgrepro CLI prints them.
+func (r Result) Render() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// RunMany executes the given experiments over a bounded worker pool and
+// returns results in the order of ids, regardless of which worker finished
+// first. workers <= 0 selects GOMAXPROCS. Unknown ids fail up front, before
+// any experiment runs.
+//
+// Parallel execution is deterministic: every experiment builds its own
+// sim.Engine (one engine per goroutine, engines never shared) and all
+// randomness flows from cfg.Seed, so the tables are byte-identical to a
+// serial run with the same Config — only Wall varies between runs.
+func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
+	fns := make([]Func, len(ids))
+	for i, id := range ids {
+		f, ok := registry[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+				id, strings.Join(IDs(), ", "))
+		}
+		fns[i] = f
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	results := make([]Result, len(ids))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				start := time.Now()
+				var tables []*Table
+				events := sim.CountEvents(func() { tables = fns[i](cfg) })
+				results[i] = Result{
+					ID:     ids[i],
+					Tables: tables,
+					Wall:   time.Since(start),
+					Events: events,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// RunAllParallel executes every registered experiment over a worker pool
+// (workers <= 0 selects GOMAXPROCS) and returns results in sorted id order,
+// with tables byte-identical to RunAll(cfg).
+func RunAllParallel(cfg Config, workers int) []Result {
+	results, err := RunMany(cfg, IDs(), workers)
+	if err != nil {
+		// Unreachable: IDs() only returns registered experiments.
+		panic(err)
+	}
+	return results
+}

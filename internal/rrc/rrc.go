@@ -216,7 +216,7 @@ type Machine struct {
 	nrAt        float64 // when the NR leg becomes the data path (NSA)
 
 	tailTimer *sim.Timer // fires the demotion cascade
-	demoteEvs []*sim.Event
+	demoteEvs []sim.Event
 
 	// OnTransition, if set, is invoked on every state change.
 	OnTransition func(tr Transition)

@@ -5,80 +5,129 @@
 // that every experiment is reproducible bit-for-bit from a seed. Time is
 // modelled as float64 seconds since the start of the simulation.
 //
-// The kernel is intentionally single-threaded: events execute in strict
+// Each Engine is single-threaded: events execute in strict
 // (time, insertion-order) sequence, which keeps the causality of an
 // experiment trivially auditable. Concurrency in the modelled system is
-// expressed as interleaved events, not goroutines.
+// expressed as interleaved events, not goroutines. The concurrency
+// invariant for campaign runners is: one engine per goroutine, engines
+// never shared. Many engines may run in parallel on different goroutines
+// (internal/experiments does exactly that), but a single engine must only
+// ever be driven by the goroutine that created it.
+//
+// The calendar is an index-based 4-ary min-heap over a slab of event
+// slots with a freelist, so the schedule->fire hot path performs no
+// allocations at steady state: slots are recycled, and Event handles carry
+// a generation number so that cancelling an already-fired (and possibly
+// recycled) event is always safe.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback. The zero value is not usable; events are
-// created via Engine.Schedule or Engine.At.
+// Event is a handle to a scheduled callback, returned by Engine.Schedule
+// and Engine.At and usable with Engine.Cancel. It is a small value type
+// (copying it is cheap and fine); the zero Event is a valid "no event"
+// sentinel for which all operations are no-ops.
+//
+// Handles are weak references: once the event has fired or been cancelled,
+// the engine may recycle its slot for a new event. A stale handle never
+// aliases the new occupant — Cancel on it is a no-op and Pending reports
+// false — because each slot reuse bumps a generation counter that the
+// handle must match.
 type Event struct {
-	// Time is the absolute simulation time (seconds) at which the event
-	// fires.
-	Time float64
-	// Name optionally labels the event for tracing and debugging.
-	Name string
+	eng *Engine
+	id  int32
+	gen uint32
+}
 
-	fn        func()
-	seq       uint64
-	index     int // heap index; -1 once removed
-	cancelled bool
+// slot is the storage behind one scheduled (or recycled) event.
+type slot struct {
+	time float64
+	seq  uint64
+	fn   func()
+	name string
+	// gen is bumped every time the slot is handed out by alloc, which
+	// invalidates all handles to previous occupants.
+	gen uint32
+	// cancelledGen records the generation that was most recently
+	// cancelled in this slot (0 = none), so Cancelled keeps answering
+	// correctly for a handle whose slot has since been recycled.
+	cancelledGen uint32
+	// heapIdx is the slot's position in the engine's heap, -1 when the
+	// slot is not queued (free, firing, or fired).
+	heapIdx int32
+}
+
+// Pending reports whether the event is still queued (scheduled, not yet
+// fired, not cancelled).
+func (ev Event) Pending() bool {
+	if ev.eng == nil {
+		return false
+	}
+	s := &ev.eng.slots[ev.id]
+	return s.gen == ev.gen && s.heapIdx >= 0
 }
 
 // Cancelled reports whether the event was cancelled before it fired.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+func (ev Event) Cancelled() bool {
+	if ev.eng == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	return ev.eng.slots[ev.id].cancelledGen == ev.gen
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Time returns the absolute firing time of a live event, or NaN if the
+// handle is stale (the event already fired or was cancelled and recycled).
+func (ev Event) Time() float64 {
+	if ev.eng == nil {
+		return math.NaN()
+	}
+	s := &ev.eng.slots[ev.id]
+	if s.gen != ev.gen {
+		return math.NaN()
+	}
+	return s.time
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// Name returns the debug label attached via ScheduleNamed, or "" if none
+// was set or the handle is stale.
+func (ev Event) Name() string {
+	if ev.eng == nil {
+		return ""
+	}
+	s := &ev.eng.slots[ev.id]
+	if s.gen != ev.gen {
+		return ""
+	}
+	return s.name
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
-// NewEngine.
+// NewEngine. An engine must only be driven by the goroutine that created
+// it; run independent engines on independent goroutines for parallelism.
 type Engine struct {
 	now     float64
 	seq     uint64
-	pq      eventHeap
+	slots   []slot
+	free    []int32 // freelist of recyclable slot indices
+	heap    []int32 // 4-ary min-heap of slot indices, ordered by (time, seq)
 	stopped bool
 
 	// Processed counts the number of events executed so far.
 	Processed uint64
+	// flushed is the prefix of Processed already reported to the
+	// goroutine's event counter (see stats.go).
+	flushed uint64
+	// counter receives processed-event counts when the creating
+	// goroutine runs under CountEvents; nil otherwise.
+	counter *uint64
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{counter: currentCounter()}
 }
 
 // Now returns the current simulation time in seconds.
@@ -87,7 +136,7 @@ func (e *Engine) Now() float64 { return e.now }
 // Schedule registers fn to run delay seconds from now. A negative delay is
 // treated as zero (the event runs "immediately", after already-queued events
 // at the current time). It returns a handle usable with Cancel.
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+func (e *Engine) Schedule(delay float64, fn func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
 	}
@@ -95,60 +144,84 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 }
 
 // ScheduleNamed is Schedule with a debug label attached to the event.
-func (e *Engine) ScheduleNamed(name string, delay float64, fn func()) *Event {
+func (e *Engine) ScheduleNamed(name string, delay float64, fn func()) Event {
 	ev := e.Schedule(delay, fn)
-	ev.Name = name
+	e.slots[ev.id].name = name
 	return ev
 }
 
 // At registers fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently reordering history would
 // corrupt the experiment.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, e.now))
 	}
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		id = int32(len(e.slots) - 1)
+	}
 	e.seq++
-	ev := &Event{Time: t, fn: fn, seq: e.seq}
-	heap.Push(&e.pq, ev)
-	return ev
+	s := &e.slots[id]
+	s.gen++
+	s.time = t
+	s.seq = e.seq
+	s.fn = fn
+	s.name = ""
+	e.heapPush(id)
+	return Event{eng: e, id: id, gen: s.gen}
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
+// Cancel removes a pending event. Cancelling the zero Event, an event of a
+// different engine, or an already-fired / already-cancelled event (even one
+// whose slot has since been recycled) is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if ev.eng != e || e == nil {
 		return
 	}
-	ev.cancelled = true
-	heap.Remove(&e.pq, ev.index)
+	s := &e.slots[ev.id]
+	if s.gen != ev.gen {
+		return // stale handle: the slot now belongs to a newer event
+	}
+	s.cancelledGen = ev.gen
+	if s.heapIdx >= 0 {
+		e.heapRemove(int(s.heapIdx))
+		s.fn = nil
+		e.free = append(e.free, ev.id)
+	}
 }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // PeekTime returns the firing time of the next queued event, or ok=false if
 // the calendar is empty.
 func (e *Engine) PeekTime() (t float64, ok bool) {
-	if len(e.pq) == 0 {
+	if len(e.heap) == 0 {
 		return 0, false
 	}
-	return e.pq[0].Time, true
+	return e.slots[e.heap[0]].time, true
 }
 
 // Step executes the next event, advancing the clock to its time. It returns
 // false if no events remain or the engine was stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.pq) == 0 {
+	if e.stopped || len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*Event)
-	e.now = ev.Time
+	id := e.heap[0]
+	e.heapRemove(0)
+	s := &e.slots[id]
+	fn := s.fn
+	s.fn = nil // release the closure; the slot is recyclable from here on
+	e.free = append(e.free, id)
+	e.now = s.time
 	e.Processed++
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -156,17 +229,26 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+	e.flushCount()
 }
 
 // RunUntil executes events with Time <= t and then advances the clock to
 // exactly t. Events scheduled at times beyond t remain queued.
+//
+// If the engine has been stopped — whether before the call or by an event
+// executed during it — the clock does not advance to t: simulated time
+// freezes at the moment Stop took effect.
 func (e *Engine) RunUntil(t float64) {
-	for !e.stopped && len(e.pq) > 0 && e.pq[0].Time <= t {
+	if e.stopped {
+		return
+	}
+	for !e.stopped && len(e.heap) > 0 && e.slots[e.heap[0]].time <= t {
 		e.Step()
 	}
 	if !e.stopped && t > e.now {
 		e.now = t
 	}
+	e.flushCount()
 }
 
 // Stop halts Run/RunUntil after the current event returns.
@@ -175,36 +257,134 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// 4-ary min-heap over slot indices, ordered by (time, seq). A wider node
+// fan-out halves the tree depth of the binary heap, trading slightly more
+// comparisons per level for far fewer cache-missing levels — the classic
+// d-ary calendar-queue layout for discrete-event kernels.
+
+// less reports whether slot a fires strictly before slot b.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.time != sb.time {
+		return sa.time < sb.time
+	}
+	return sa.seq < sb.seq
+}
+
+// heapPush queues slot id.
+func (e *Engine) heapPush(id int32) {
+	e.heap = append(e.heap, id)
+	i := len(e.heap) - 1
+	e.slots[id].heapIdx = int32(i)
+	e.siftUp(i)
+}
+
+// heapRemove dequeues the slot at heap position i, preserving heap order.
+func (e *Engine) heapRemove(i int) {
+	h := e.heap
+	n := len(h) - 1
+	e.slots[h[i]].heapIdx = -1
+	if i != n {
+		h[i] = h[n]
+		e.slots[h[i]].heapIdx = int32(i)
+	}
+	e.heap = h[:n]
+	if i < n {
+		if e.siftDown(i) == i {
+			e.siftUp(i)
+		}
+	}
+}
+
+// siftUp restores heap order from position i toward the root and returns
+// the final position.
+func (e *Engine) siftUp(i int) int {
+	h := e.heap
+	id := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(id, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.slots[h[i]].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = id
+	e.slots[id].heapIdx = int32(i)
+	return i
+}
+
+// siftDown restores heap order from position i toward the leaves and
+// returns the final position.
+func (e *Engine) siftDown(i int) int {
+	h := e.heap
+	n := len(h)
+	id := h[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !e.less(h[best], id) {
+			break
+		}
+		h[i] = h[best]
+		e.slots[h[i]].heapIdx = int32(i)
+		i = best
+	}
+	h[i] = id
+	e.slots[id].heapIdx = int32(i)
+	return i
+}
+
 // Timer is a restartable one-shot timer bound to an engine, mirroring the
 // inactivity timers of cellular radio state machines. Restarting an armed
 // timer cancels the previous deadline.
 type Timer struct {
-	eng *Engine
-	ev  *Event
-	fn  func()
+	eng   *Engine
+	ev    Event
+	armed bool
+	fn    func()
+	fire  func() // allocated once so Reset is allocation-free
 }
 
 // NewTimer creates a timer that invokes fn when it expires.
 func NewTimer(eng *Engine, fn func()) *Timer {
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.fire = func() {
+		t.armed = false
+		t.ev = Event{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire after d seconds.
 func (t *Timer) Reset(d float64) {
 	t.Stop()
-	t.ev = t.eng.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.armed = true
+	t.ev = t.eng.Schedule(d, t.fire)
 }
 
 // Stop disarms the timer. Stopping an idle timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
+	if t.armed {
 		t.eng.Cancel(t.ev)
-		t.ev = nil
+		t.armed = false
+		t.ev = Event{}
 	}
 }
 
 // Armed reports whether the timer currently has a pending deadline.
-func (t *Timer) Armed() bool { return t.ev != nil }
+func (t *Timer) Armed() bool { return t.armed }

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -52,15 +54,18 @@ func TestCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Error("Cancelled() = false after Cancel")
 	}
-	// Double cancel is a no-op.
+	if ev.Pending() {
+		t.Error("Pending() = true after Cancel")
+	}
+	// Double cancel and cancelling the zero Event are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	evs := make([]*Event, 5)
+	evs := make([]Event, 5)
 	for i := 0; i < 5; i++ {
 		i := i
 		evs[i] = e.Schedule(float64(i), func() { got = append(got, i) })
@@ -75,6 +80,76 @@ func TestCancelOneOfMany(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("got %v, want %v", got, want)
 		}
+	}
+}
+
+// A handle to a fired event must never alias the slot's next occupant:
+// cancelling through the stale handle is a no-op.
+func TestCancelStaleHandleIsSafe(t *testing.T) {
+	e := NewEngine()
+	first := e.Schedule(1, func() {})
+	e.Run()
+	// The slot of `first` is recyclable now; the next schedule reuses it.
+	secondFired := false
+	second := e.Schedule(1, func() { secondFired = true })
+	if second.id != first.id {
+		t.Fatalf("slot not recycled: first id %d, second id %d", first.id, second.id)
+	}
+	if first.Pending() {
+		t.Error("stale handle reports Pending")
+	}
+	e.Cancel(first) // must not touch the recycled slot's new event
+	if second.Cancelled() || !second.Pending() {
+		t.Fatal("cancelling a stale handle affected the slot's new event")
+	}
+	e.Run()
+	if !secondFired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// Cancelled() keeps answering for a cancelled handle even after the slot
+// has been recycled for a new event.
+func TestCancelledSurvivesRecycle(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.Cancel(ev)
+	reused := e.Schedule(2, func() {})
+	if reused.id != ev.id {
+		t.Fatalf("slot not recycled: ids %d vs %d", ev.id, reused.id)
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false for cancelled handle after recycle")
+	}
+	if reused.Cancelled() {
+		t.Error("Cancelled() = true for the slot's new occupant")
+	}
+	e.Run()
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine()
+	ev := e.ScheduleNamed("probe", 2.5, func() {})
+	if ev.Name() != "probe" {
+		t.Errorf("Name() = %q, want %q", ev.Name(), "probe")
+	}
+	if ev.Time() != 2.5 {
+		t.Errorf("Time() = %v, want 2.5", ev.Time())
+	}
+	if !ev.Pending() {
+		t.Error("Pending() = false for queued event")
+	}
+	e.Run()
+	e.Schedule(1, func() {}) // recycle the slot
+	if !math.IsNaN(ev.Time()) {
+		t.Errorf("Time() on stale handle = %v, want NaN", ev.Time())
+	}
+	if ev.Name() != "" {
+		t.Errorf("Name() on stale handle = %q, want empty", ev.Name())
+	}
+	var zero Event
+	if zero.Pending() || zero.Cancelled() || zero.Name() != "" || !math.IsNaN(zero.Time()) {
+		t.Error("zero Event is not inert")
 	}
 }
 
@@ -159,6 +234,30 @@ func TestStop(t *testing.T) {
 	}
 }
 
+// After Stop, RunUntil must neither execute events nor advance the clock —
+// whether Stop happened before the call or during it.
+func TestStopFreezesRunUntilClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.RunUntil(2)
+	e.Stop()
+	e.RunUntil(50) // stopped before the call: full no-op
+	if e.Now() != 2 {
+		t.Errorf("RunUntil after Stop advanced clock to %v, want 2", e.Now())
+	}
+
+	e2 := NewEngine()
+	e2.Schedule(3, func() { e2.Stop() })
+	e2.Schedule(4, func() { t.Error("event after Stop fired") })
+	e2.RunUntil(10) // stopped mid-call: clock freezes at the stopping event
+	if e2.Now() != 3 {
+		t.Errorf("Now() = %v, want 3 (time of the stopping event)", e2.Now())
+	}
+	if e2.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e2.Pending())
+	}
+}
+
 func TestPeekTime(t *testing.T) {
 	e := NewEngine()
 	if _, ok := e.PeekTime(); ok {
@@ -194,6 +293,55 @@ func TestTimerResetAndStop(t *testing.T) {
 	e.RunUntil(20)
 	if fires != 1 {
 		t.Error("stopped timer fired")
+	}
+}
+
+func TestCountEvents(t *testing.T) {
+	n := CountEvents(func() {
+		e := NewEngine()
+		for i := 0; i < 7; i++ {
+			e.Schedule(float64(i), func() {})
+		}
+		e.Run()
+		// A second engine on the same goroutine also counts.
+		e2 := NewEngine()
+		e2.Schedule(1, func() {})
+		e2.RunUntil(5)
+	})
+	if n != 8 {
+		t.Errorf("CountEvents = %d, want 8", n)
+	}
+	// Outside CountEvents nothing is recorded and nothing breaks.
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Run()
+}
+
+// Counters are per goroutine: concurrent CountEvents calls never observe
+// each other's engines.
+func TestCountEventsIsolation(t *testing.T) {
+	const workers = 4
+	var wg sync.WaitGroup
+	counts := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts[w] = CountEvents(func() {
+				e := NewEngine()
+				for i := 0; i <= w; i++ {
+					e.Schedule(float64(i), func() {})
+				}
+				e.Run()
+			})
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if counts[w] != uint64(w+1) {
+			t.Errorf("worker %d counted %d events, want %d", w, counts[w], w+1)
+		}
 	}
 }
 
@@ -233,19 +381,61 @@ func TestProcessedCountProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		e := NewEngine()
 		k := int(n%40) + 2
-		evs := make([]*Event, k)
+		evs := make([]Event, k)
 		for i := 0; i < k; i++ {
 			evs[i] = e.Schedule(rng.Float64()*10, func() {})
 		}
 		cancelled := 0
 		for i := 0; i < k; i++ {
-			if rng.Intn(2) == 0 {
+			if rng.Intn(2) == 0 && evs[i].Pending() {
 				e.Cancel(evs[i])
 				cancelled++
 			}
 		}
 		e.Run()
 		return e.Processed == uint64(k-cancelled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the 4-ary indexed heap fires events in exactly (time, seq)
+// order under random interleavings of schedules and cancels, and the slab
+// never leaks slots (free + queued == allocated).
+func TestHeapIntegrityProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		k := int(n)%120 + 5
+		live := make([]Event, 0, k)
+		for i := 0; i < k; i++ {
+			switch {
+			case len(live) > 0 && rng.Intn(4) == 0:
+				j := rng.Intn(len(live))
+				e.Cancel(live[j])
+				live = append(live[:j], live[j+1:]...)
+			case len(e.heap) > 0 && rng.Intn(5) == 0:
+				e.Step()
+			default:
+				live = append(live, e.Schedule(rng.Float64()*50, func() {}))
+			}
+		}
+		if len(e.free)+len(e.heap) != len(e.slots) {
+			return false
+		}
+		last := -1.0
+		var lastSeq uint64
+		for len(e.heap) > 0 {
+			tm, _ := e.PeekTime()
+			seq := e.slots[e.heap[0]].seq
+			if tm < last || (tm == last && seq < lastSeq) {
+				return false
+			}
+			last, lastSeq = tm, seq
+			e.Step()
+		}
+		return len(e.free) == len(e.slots)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,83 @@
+// Goroutine-scoped event accounting for campaign runners.
+//
+// internal/experiments runs many engines on parallel worker goroutines and
+// wants per-experiment processed-event counts without threading a counter
+// through every model constructor. CountEvents installs a counter keyed by
+// the calling goroutine; NewEngine picks it up once at construction (legal
+// because of the one-engine-per-goroutine invariant), so the per-event hot
+// path carries no synchronisation at all — engines add their deltas to the
+// counter only when Run/RunUntil returns.
+package sim
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// activeCounters lets NewEngine skip the goroutine-id lookup
+	// entirely when nothing is being counted (the common case).
+	activeCounters atomic.Int32
+	// counters maps goroutine id -> *uint64 for goroutines currently
+	// inside CountEvents.
+	counters sync.Map
+)
+
+// CountEvents runs f on the calling goroutine and returns the total number
+// of events processed by engines created on this goroutine during f.
+// Counts are flushed when an engine's Run or RunUntil returns, so engines
+// still mid-run when f exits (or driven only via Step) are not included.
+//
+// CountEvents is safe to use concurrently from many goroutines; each call
+// observes only its own goroutine's engines.
+func CountEvents(f func()) uint64 {
+	id := goroutineID()
+	var count uint64
+	counters.Store(id, &count)
+	activeCounters.Add(1)
+	defer func() {
+		activeCounters.Add(-1)
+		counters.Delete(id)
+	}()
+	f()
+	return count
+}
+
+// currentCounter returns the counter installed for the calling goroutine,
+// or nil when it is not running under CountEvents.
+func currentCounter() *uint64 {
+	if activeCounters.Load() == 0 {
+		return nil
+	}
+	if c, ok := counters.Load(goroutineID()); ok {
+		return c.(*uint64)
+	}
+	return nil
+}
+
+// flushCount reports events processed since the previous flush to the
+// goroutine's counter, if one was installed when the engine was created.
+func (e *Engine) flushCount() {
+	if e.counter == nil {
+		return
+	}
+	*e.counter += e.Processed - e.flushed
+	e.flushed = e.Processed
+}
+
+// goroutineID parses the running goroutine's id from its stack header
+// ("goroutine 123 [running]:"). It is only called on the slow paths
+// (CountEvents entry and NewEngine), never per event.
+func goroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return 0
+	}
+	id, _ := strconv.ParseUint(string(fields[1]), 10, 64)
+	return id
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the per-experiment campaign benchmarks plus the sim-kernel
+# micro-benchmarks and emit BENCH_1.json: {"<name>": {"ns_per_op": ...,
+# "bytes_per_op": ..., "allocs_per_op": ...}, ...} so the perf trajectory is
+# tracked from PR 1 onward.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1x: one full campaign per
+#               benchmark; raise to e.g. 3x or 2s for steadier numbers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+benchtime="${BENCHTIME:-1x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Root package: one benchmark per paper table/figure plus the serial and
+# parallel whole-campaign runners. internal/sim: kernel hot-path numbers.
+go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" \
+    . ./internal/sim | tee "$raw"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns     = $(i - 1)
+        if ($i == "B/op")      bytes  = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf(",\n")
+    printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+           name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+}
+END { if (n) printf("\n") }
+' "$raw" | { echo "{"; cat; echo "}"; } > "$out"
+
+echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's tier-1 gate: formatting, vet, build, and the full test
+# suite under the race detector (which now genuinely exercises the parallel
+# experiment runner and the engines-never-shared invariant).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all green"
