@@ -33,10 +33,16 @@ func main() {
 	}
 	fmt.Printf("%d sites x %d loads x 2 radios (%d page loads)\n\n",
 		*sites, *repeats, *sites**repeats*2)
+	stats.SortN(p4)
+	stats.SortN(p5)
+	stats.SortN(e4)
+	stats.SortN(e5)
 	fmt.Printf("PLT    median: 4G %.2fs  5G %.2fs   p95: 4G %.2fs  5G %.2fs\n",
-		stats.Median(p4), stats.Median(p5), stats.Percentile(p4, 95), stats.Percentile(p5, 95))
+		stats.PercentileSorted(p4, 50), stats.PercentileSorted(p5, 50),
+		stats.PercentileSorted(p4, 95), stats.PercentileSorted(p5, 95))
 	fmt.Printf("Energy median: 4G %.2fJ  5G %.2fJ   p95: 4G %.2fJ  5G %.2fJ\n\n",
-		stats.Median(e4), stats.Median(e5), stats.Percentile(e4, 95), stats.Percentile(e5, 95))
+		stats.PercentileSorted(e4, 50), stats.PercentileSorted(e5, 50),
+		stats.PercentileSorted(e4, 95), stats.PercentileSorted(e5, 95))
 
 	models, err := web.TrainAll(ms, *seed+3)
 	if err != nil {

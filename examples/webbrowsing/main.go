@@ -36,7 +36,11 @@ func main() {
 		savs = append(savs, m.EnergySavingPct)
 	}
 	fmt.Println("energy saving by PLT-penalty bucket:")
-	for _, b := range stats.Bin(pens, savs, 0, 150, 30) {
+	bins, err := stats.Bin(pens, savs, 0, 150, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range bins {
 		if len(b.Values) < 5 {
 			continue
 		}

@@ -16,6 +16,9 @@ package abr
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Video describes an encoded video: equal-length chunks, a bitrate ladder
@@ -89,6 +92,15 @@ type Algorithm interface {
 	Select(ctx *Context) int
 	// Reset clears per-session state before a new playback.
 	Reset()
+}
+
+// Cloner is implemented by algorithms that can replicate themselves for
+// concurrent evaluation. A clone carries the same configuration and (shared,
+// read-only) trained models but owns all mutable per-session state, so one
+// clone per goroutine is safe. All seven built-in algorithms implement it;
+// Evaluate falls back to a serial pass for algorithms that do not.
+type Cloner interface {
+	Clone() Algorithm
 }
 
 // Options configures a playback simulation.
@@ -220,13 +232,70 @@ func downloadUntil(tr []float64, t, deadline float64, usage *[]float64) float64 
 	return moved
 }
 
+// Scratch holds the reusable buffers for a run of Simulate calls: the
+// per-chunk result series, the context history, and the oracle closure.
+// A zero Scratch is ready to use; one Scratch serves one goroutine. Result
+// slices returned by SimulateScratch alias the scratch's buffers and are
+// valid only until the next call with the same scratch.
+type Scratch struct {
+	ctx       Context
+	qualities []int
+	download  []float64
+	bufferAt  []float64
+	usage     []float64
+
+	// The oracle closure is built once and reads these two fields, which
+	// the simulate loop updates per chunk — replacing the per-chunk closure
+	// allocation of the naive form.
+	oracleTr []float64
+	oracleT  float64
+	oracleFn func(horizonS float64) float64
+}
+
+// start resets the scratch for a new playback over tr and returns the
+// context to drive it with.
+func (sc *Scratch) start(v Video, tr []float64) *Context {
+	sc.qualities = sc.qualities[:0]
+	sc.download = sc.download[:0]
+	sc.bufferAt = sc.bufferAt[:0]
+	sc.usage = sc.usage[:0]
+	sc.oracleTr = tr
+	if sc.oracleFn == nil {
+		sc.oracleFn = func(h float64) float64 {
+			tt := sc.oracleT
+			if h <= 0 {
+				return bwAt(sc.oracleTr, int(tt))
+			}
+			s := 0.0
+			for k := 0.0; k < h; k++ {
+				s += bwAt(sc.oracleTr, int(tt+k))
+			}
+			return s / h
+		}
+	}
+	past := sc.ctx.PastChunkMbps[:0]
+	times := sc.ctx.PastChunkTimeS[:0]
+	sc.ctx = Context{Video: v, PastChunkMbps: past, PastChunkTimeS: times, Oracle: sc.oracleFn}
+	return &sc.ctx
+}
+
 // Simulate plays the whole video through algo over the bandwidth trace
 // (Mbps at 1-second granularity) and returns the session metrics.
 func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
+	return SimulateScratch(v, algo, tr, opt, nil)
+}
+
+// SimulateScratch is Simulate with caller-owned buffers: passing the same
+// scratch across calls makes the steady path allocation-free. nil behaves
+// like a fresh scratch (and the Result then owns its slices).
+func SimulateScratch(v Video, algo Algorithm, tr []float64, opt Options, sc *Scratch) Result {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	opt = opt.withDefaults(v)
 	algo.Reset()
 	res := Result{Algorithm: algo.Name()}
-	ctx := &Context{Video: v}
+	ctx := sc.start(v, tr)
 	t := 0.0
 	buffer := 0.0
 	last := 0
@@ -234,18 +303,8 @@ func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
 		ctx.ChunkIndex = i
 		ctx.BufferS = buffer
 		ctx.LastQuality = last
-		res.BufferAtSelectS = append(res.BufferAtSelectS, buffer)
-		tt := t
-		ctx.Oracle = func(h float64) float64 {
-			if h <= 0 {
-				return bwAt(tr, int(tt))
-			}
-			s := 0.0
-			for k := 0.0; k < h; k++ {
-				s += bwAt(tr, int(tt+k))
-			}
-			return s / h
-		}
+		sc.bufferAt = append(sc.bufferAt, buffer)
+		sc.oracleT = t
 		q := algo.Select(ctx)
 		if q < 0 {
 			q = 0
@@ -261,7 +320,7 @@ func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
 			tentative := download(tr, t, size, nil)
 			if tentative-t > buffer+0.25 {
 				deadline := t + buffer*0.9 // the player aborts just before starvation
-				res.WastedMb += downloadUntil(tr, t, deadline, &res.UsageMbps)
+				res.WastedMb += downloadUntil(tr, t, deadline, &sc.usage)
 				res.Abandons++
 				q = 0
 				size = v.ChunkMb(q)
@@ -272,7 +331,7 @@ func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
 				t = deadline
 			}
 		}
-		done := download(tr, t, size, &res.UsageMbps)
+		done := download(tr, t, size, &sc.usage)
 		dl := done - t
 		if i == 0 {
 			res.StartupS = dl
@@ -296,8 +355,8 @@ func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
 
 		ctx.PastChunkMbps = append(ctx.PastChunkMbps, size/dl)
 		ctx.PastChunkTimeS = append(ctx.PastChunkTimeS, dl)
-		res.Qualities = append(res.Qualities, q)
-		res.DownloadS = append(res.DownloadS, dl)
+		sc.qualities = append(sc.qualities, q)
+		sc.download = append(sc.download, dl)
 		res.AvgBitrateMbps += v.BitratesMbps[q]
 		res.QoE += v.BitratesMbps[q]
 		if i > 0 {
@@ -309,12 +368,17 @@ func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
 		}
 		last = q
 	}
+	res.Qualities = sc.qualities
+	res.DownloadS = sc.download
+	res.BufferAtSelectS = sc.bufferAt
+	res.UsageMbps = sc.usage
 	res.QoE -= opt.RebufPenalty * res.StallS
 	res.AvgBitrateMbps /= float64(len(res.Qualities))
 	res.NormBitrate = res.AvgBitrateMbps / v.Top()
 	res.DurationS = t + buffer // session ends when the buffer drains
 	wall := float64(v.NumChunks)*v.ChunkS + res.StallS
 	res.StallPct = res.StallS / wall * 100
+	sc.oracleTr = nil // do not retain the trace beyond the call
 	return res
 }
 
@@ -329,19 +393,81 @@ type Aggregate struct {
 	MeanSwitches float64
 }
 
-// Evaluate runs algo over every trace and averages the metrics.
+// traceStats is the per-trace contribution to an Aggregate.
+type traceStats struct {
+	norm, stallPct, stallS, qoe, switches float64
+}
+
+func oneTrace(v Video, algo Algorithm, tr []float64, opt Options, sc *Scratch) traceStats {
+	r := SimulateScratch(v, algo, tr, opt, sc)
+	return traceStats{
+		norm:     r.NormBitrate,
+		stallPct: r.StallPct,
+		stallS:   r.StallS,
+		qoe:      r.QoE,
+		switches: float64(r.Switches),
+	}
+}
+
+// Evaluate runs algo over every trace and averages the metrics. It is
+// EvaluateWorkers with GOMAXPROCS workers: on a multi-core host traces fan
+// out over per-goroutine clones of algo, with results identical to a serial
+// pass.
 func Evaluate(v Video, algo Algorithm, traces [][]float64, opt Options) Aggregate {
+	return EvaluateWorkers(v, algo, traces, opt, 0)
+}
+
+// EvaluateWorkers evaluates the traces over a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS; 1 forces a serial pass). Each worker
+// gets its own Clone of algo and its own Scratch, and the per-trace metrics
+// are reduced in trace order, so the returned Aggregate is byte-identical
+// for every worker count: every Simulate starts from Reset state, and the
+// float additions happen in the same sequence as a serial loop. Algorithms
+// that do not implement Cloner are evaluated serially.
+func EvaluateWorkers(v Video, algo Algorithm, traces [][]float64, opt Options, workers int) Aggregate {
 	agg := Aggregate{Algorithm: algo.Name()}
 	if len(traces) == 0 {
 		return agg
 	}
-	for _, tr := range traces {
-		r := Simulate(v, algo, tr, opt)
-		agg.NormBitrate += r.NormBitrate
-		agg.StallPct += r.StallPct
-		agg.MeanStallS += r.StallS
-		agg.MeanQoE += r.QoE
-		agg.MeanSwitches += float64(r.Switches)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	cl, cloneable := algo.(Cloner)
+	per := make([]traceStats, len(traces))
+	if workers <= 1 || !cloneable {
+		sc := &Scratch{}
+		for i, tr := range traces {
+			per[i] = oneTrace(v, algo, tr, opt, sc)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a := cl.Clone()
+				sc := &Scratch{}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(traces) {
+						return
+					}
+					per[i] = oneTrace(v, a, traces[i], opt, sc)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, s := range per {
+		agg.NormBitrate += s.norm
+		agg.StallPct += s.stallPct
+		agg.MeanStallS += s.stallS
+		agg.MeanQoE += s.qoe
+		agg.MeanSwitches += s.switches
 	}
 	n := float64(len(traces))
 	agg.NormBitrate /= n

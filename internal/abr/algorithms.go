@@ -24,6 +24,9 @@ func (b *BBA) Name() string { return "BBA" }
 // Reset implements Algorithm.
 func (b *BBA) Reset() {}
 
+// Clone implements Cloner.
+func (b *BBA) Clone() Algorithm { c := *b; return &c }
+
 // Select implements Algorithm.
 func (b *BBA) Select(ctx *Context) int {
 	res, cus := b.ReservoirS, b.CushionS
@@ -65,6 +68,9 @@ func (b *BOLA) Name() string { return "BOLA" }
 
 // Reset implements Algorithm.
 func (b *BOLA) Reset() {}
+
+// Clone implements Cloner.
+func (b *BOLA) Clone() Algorithm { c := *b; return &c }
 
 // Select implements Algorithm.
 func (b *BOLA) Select(ctx *Context) int {
@@ -110,6 +116,9 @@ func (r *RB) Name() string { return "RB" }
 
 // Reset implements Algorithm.
 func (r *RB) Reset() {}
+
+// Clone implements Cloner.
+func (r *RB) Clone() Algorithm { c := *r; return &c }
 
 // Select implements Algorithm.
 func (r *RB) Select(ctx *Context) int {
@@ -164,6 +173,12 @@ func (f *FESTIVE) Name() string { return "FESTIVE" }
 
 // Reset implements Algorithm.
 func (f *FESTIVE) Reset() { f.upStreak = 0 }
+
+// Clone implements Cloner: the clone keeps the configuration, not the
+// per-session streak.
+func (f *FESTIVE) Clone() Algorithm {
+	return &FESTIVE{Window: f.Window, UpCount: f.UpCount}
+}
 
 // Select implements Algorithm.
 func (f *FESTIVE) Select(ctx *Context) int {

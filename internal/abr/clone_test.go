@@ -1,0 +1,111 @@
+package abr
+
+import (
+	"reflect"
+	"testing"
+
+	"fivegsim/internal/trace"
+)
+
+// sevenAlgorithms builds one instance of every built-in ABR family member,
+// with the trained ones (GBDT-MPC, Pensieve) kept deliberately tiny.
+func sevenAlgorithms(t *testing.T, v Video, train [][]float64) []Algorithm {
+	t.Helper()
+	gbdt, err := TrainGBDTPredictor(train, 4, int(v.ChunkS), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pens, err := TrainPensieve(v, train, TrainOptions{
+		Episodes: 2, ImitationPasses: 1, Hidden: 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Algorithm{
+		&BBA{}, &BOLA{}, &RB{}, &FESTIVE{},
+		&MPC{Label: "fastMPC"},
+		&MPC{Label: "robustMPC", Robust: true, Pred: gbdt},
+		pens,
+	}
+}
+
+// The Clone contract: every built-in algorithm implements Cloner, and a
+// clone — taken before or after the parent has played sessions — produces
+// exactly the parent's results on the same trace, because Simulate resets
+// per-session state and trained models are shared read-only.
+func TestCloneContract(t *testing.T) {
+	v, err := NewVideo(60, 4, 160, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := trace.GenSet5G(2, 120, 31)
+	trA := trace.Gen5GmmWave(41, 120)
+	trB := trace.Gen5GmmWave(43, 120)
+	for _, algo := range sevenAlgorithms(t, v, train) {
+		cl, ok := algo.(Cloner)
+		if !ok {
+			t.Errorf("%s does not implement Cloner", algo.Name())
+			continue
+		}
+		fresh := cl.Clone().(Algorithm)
+		want := Simulate(v, algo, trA, Options{}) // dirties the parent's state
+		if got := Simulate(v, fresh, trA, Options{}); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: pre-use clone diverges on trace A:\nclone  %+v\nparent %+v",
+				algo.Name(), got, want)
+		}
+		dirty := cl.Clone().(Algorithm)
+		wantB := Simulate(v, algo, trB, Options{})
+		if got := Simulate(v, dirty, trB, Options{}); !reflect.DeepEqual(got, wantB) {
+			t.Errorf("%s: post-use clone diverges on trace B:\nclone  %+v\nparent %+v",
+				algo.Name(), got, wantB)
+		}
+	}
+}
+
+// The parallel-evaluation contract of the tentpole: EvaluateWorkers returns
+// the same Aggregate — bit for bit, not approximately — for every worker
+// count. Run under -race this also exercises the clone-per-goroutine
+// isolation.
+func TestEvaluateWorkersByteIdentical(t *testing.T) {
+	v, err := NewVideo(60, 4, 160, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := trace.GenSet5G(2, 120, 31)
+	traces := trace.GenSet5G(8, 120, 47)
+	for _, algo := range sevenAlgorithms(t, v, train) {
+		serial := EvaluateWorkers(v, algo, traces, Options{}, 1)
+		for _, workers := range []int{2, 4, 8} {
+			if par := EvaluateWorkers(v, algo, traces, Options{}, workers); par != serial {
+				t.Errorf("%s: %d workers diverge from serial:\npar    %+v\nserial %+v",
+					algo.Name(), workers, par, serial)
+			}
+		}
+	}
+}
+
+// A reused Scratch must not leak state between playbacks: interleaving
+// traces through one scratch matches fresh-scratch runs field by field
+// (modulo the documented slice aliasing, which DeepEqual sees through).
+func TestSimulateScratchMatchesSimulate(t *testing.T) {
+	v, err := NewVideo(120, 4, 160, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := trace.GenSet5G(4, 200, 17)
+	sc := &Scratch{}
+	for i, tr := range traces {
+		algo := &MPC{Robust: true}
+		want := Simulate(v, &MPC{Robust: true}, tr, Options{})
+		got := SimulateScratch(v, algo, tr, Options{}, sc)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("trace %d: scratch run diverges:\nscratch %+v\nfresh   %+v", i, got, want)
+		}
+	}
+	// The abandonment path shares the usage buffer; make sure it reuses
+	// cleanly too.
+	slow := flat(3, 400)
+	want := Simulate(v, &MPC{}, slow, Options{Abandon: true})
+	if got := SimulateScratch(v, &MPC{}, slow, Options{Abandon: true}, sc); !reflect.DeepEqual(got, want) {
+		t.Errorf("abandon run diverges with reused scratch:\nscratch %+v\nfresh   %+v", got, want)
+	}
+}

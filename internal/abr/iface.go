@@ -87,6 +87,22 @@ func SimulateIfaceThreshold(v Video, algo Algorithm, tr5, tr4 []float64, scheme 
 		res.Samples[sec].On5G = on5g
 	}
 
+	// One oracle closure for the whole session: the loop below retargets
+	// oracleTr/oracleT per chunk instead of allocating a fresh closure.
+	var oracleTr []float64
+	var oracleT float64
+	ctx.Oracle = func(h float64) float64 {
+		if h <= 0 {
+			return bwAt(oracleTr, int(oracleT))
+		}
+		s := 0.0
+		for k := 0.0; k < h; k++ {
+			s += bwAt(oracleTr, int(oracleT+k))
+		}
+		return s / h
+	}
+	var usage []float64 // per-chunk usage buffer, reused across chunks
+
 	for i := 0; i < v.NumChunks; i++ {
 		// Interface decision at the chunk boundary.
 		if on5G && scheme != Always5G {
@@ -134,18 +150,7 @@ func SimulateIfaceThreshold(v Video, algo Algorithm, tr5, tr4 []float64, scheme 
 		ctx.ChunkIndex = i
 		ctx.BufferS = buffer
 		ctx.LastQuality = last
-		tt := t
-		curTr := tr
-		ctx.Oracle = func(h float64) float64 {
-			if h <= 0 {
-				return bwAt(curTr, int(tt))
-			}
-			s := 0.0
-			for k := 0.0; k < h; k++ {
-				s += bwAt(curTr, int(tt+k))
-			}
-			return s / h
-		}
+		oracleTr, oracleT = tr, t
 		q := algo.Select(ctx)
 		if q < 0 {
 			q = 0
@@ -163,7 +168,7 @@ func SimulateIfaceThreshold(v Video, algo Algorithm, tr5, tr4 []float64, scheme 
 		}
 		size := v.ChunkMb(q)
 
-		var usage []float64
+		usage = usage[:0]
 		done := download(tr, t, size, &usage)
 		dl := done - t
 		for s, mb := range usage {

@@ -65,19 +65,32 @@ type GBDTPredictor struct {
 	// Lags is the feature window; set at training time.
 	Lags int
 
-	ema float64 // per-session smoothed estimate
+	ema float64   // per-session smoothed estimate
+	x   []float64 // reusable feature buffer
 }
 
 // Reset clears per-session smoothing state (called via MPC.Reset).
 func (g *GBDTPredictor) Reset() { g.ema = 0 }
 
+// ClonePredictor returns a replica sharing the trained (read-only) model
+// but owning its smoothing state and feature buffer.
+func (g *GBDTPredictor) ClonePredictor() Predictor {
+	return &GBDTPredictor{model: g.model, Lags: g.Lags}
+}
+
 // Name implements Predictor.
 func (g *GBDTPredictor) Name() string { return "gbdt" }
 
-// gbdtFeatures assembles the lag vector (most recent last), padding the
-// left edge with the oldest known value.
-func gbdtFeatures(past []float64, lags int, fallback float64) []float64 {
-	x := make([]float64, lags)
+// gbdtFeatures assembles the lag vector (most recent last) into dst,
+// padding the left edge with the oldest known value. dst is grown only when
+// its capacity is short, so a per-predictor buffer makes Predict
+// allocation-free.
+func gbdtFeatures(dst []float64, past []float64, lags int, fallback float64) []float64 {
+	x := dst
+	if cap(x) < lags {
+		x = make([]float64, lags)
+	}
+	x = x[:lags]
 	for i := 0; i < lags; i++ {
 		idx := len(past) - lags + i
 		switch {
@@ -101,7 +114,8 @@ func (g *GBDTPredictor) Predict(ctx *Context) float64 {
 	if g.model == nil {
 		return hm
 	}
-	x := gbdtFeatures(ctx.PastChunkMbps, g.Lags, ctx.Video.BitratesMbps[0])
+	g.x = gbdtFeatures(g.x, ctx.PastChunkMbps, g.Lags, ctx.Video.BitratesMbps[0])
+	x := g.x
 	// The floor forecast is debiased upward for steady conditions (where
 	// min ~= mean - 0.8 sd) and capped by the harmonic mean.
 	p := g.model.Predict(x) * 1.45
@@ -212,8 +226,29 @@ type MPC struct {
 	RebufPenalty  float64
 	SmoothPenalty float64
 
-	predErrs []float64 // recent relative prediction errors (Robust)
+	// Recent relative prediction errors (Robust), a fixed ring: only the
+	// max over the window is consumed, so order is irrelevant.
+	predErrs [predErrWindow]float64
+	nPredErr int
+	errHead  int
 	lastPred float64
+
+	// Persistent branch-and-bound scratch (grown once, reused per Select).
+	stack    []mpcNode
+	children []mpcNode
+	dlq      []float64
+}
+
+// predErrWindow is RobustMPC's error-history length.
+const predErrWindow = 5
+
+// mpcNode is one partial track sequence in the branch-and-bound frontier.
+type mpcNode struct {
+	step   int32
+	first  int32 // track chosen at step 0 on this branch (-1 at the root)
+	last   int32 // track of the previous step (LastQuality at the root)
+	buffer float64
+	qoe    float64
 }
 
 // Name implements Algorithm.
@@ -229,11 +264,35 @@ func (m *MPC) Name() string {
 
 // Reset implements Algorithm.
 func (m *MPC) Reset() {
-	m.predErrs = nil
+	m.nPredErr = 0
+	m.errHead = 0
 	m.lastPred = 0
 	if r, ok := m.Pred.(interface{ Reset() }); ok {
 		r.Reset()
 	}
+}
+
+// Clone implements Cloner: the clone shares trained predictor models but
+// owns all per-session state (prediction-error window, predictor smoothing,
+// search scratch).
+func (m *MPC) Clone() Algorithm {
+	return &MPC{
+		Label:         m.Label,
+		Pred:          clonePredictor(m.Pred),
+		Robust:        m.Robust,
+		Horizon:       m.Horizon,
+		RebufPenalty:  m.RebufPenalty,
+		SmoothPenalty: m.SmoothPenalty,
+	}
+}
+
+// clonePredictor replicates a predictor for a new goroutine: stateful
+// predictors provide ClonePredictor, stateless ones are shared as-is.
+func clonePredictor(p Predictor) Predictor {
+	if c, ok := p.(interface{ ClonePredictor() Predictor }); ok {
+		return c.ClonePredictor()
+	}
+	return p
 }
 
 // Select implements Algorithm.
@@ -251,9 +310,10 @@ func (m *MPC) Select(ctx *Context) int {
 		actual := ctx.PastChunkMbps[len(ctx.PastChunkMbps)-1]
 		if actual > 0 {
 			err := math.Abs(m.lastPred-actual) / actual
-			m.predErrs = append(m.predErrs, err)
-			if len(m.predErrs) > 5 {
-				m.predErrs = m.predErrs[1:]
+			m.predErrs[m.errHead] = err
+			m.errHead = (m.errHead + 1) % predErrWindow
+			if m.nPredErr < predErrWindow {
+				m.nPredErr++
 			}
 		}
 	}
@@ -261,7 +321,12 @@ func (m *MPC) Select(ctx *Context) int {
 	if m.Robust {
 		// RobustMPC discounts by the recent prediction error; the error is
 		// clamped so a single wild mmWave swing does not zero the estimate.
-		e := stats.Max(m.predErrs)
+		e := 0.0
+		for i := 0; i < m.nPredErr; i++ {
+			if m.predErrs[i] > e {
+				e = m.predErrs[i]
+			}
+		}
 		if e > 1 {
 			e = 1
 		}
@@ -283,24 +348,40 @@ func (m *MPC) Select(ctx *Context) int {
 
 	bestFirst, bestQoE := 0, math.Inf(-1)
 	tracks := v.Tracks()
-	seq := make([]int, h)
-	var walk func(step int, buffer float64, last int, qoe float64)
-	walk = func(step int, buffer float64, last int, qoe float64) {
-		if qoe+upperBound(v, h-step) <= bestQoE {
-			return // cannot beat the incumbent
+	if cap(m.dlq) < tracks {
+		m.dlq = make([]float64, tracks)
+		m.children = make([]mpcNode, 0, tracks)
+	}
+	dlq := m.dlq[:tracks]
+	for q := 0; q < tracks; q++ {
+		dlq[q] = v.ChunkMb(q) / pred
+	}
+	// Iterative best-first branch-and-bound over a persistent stack: a
+	// node's children are expanded together, ordered by their partial QoE
+	// so the most promising branch is explored first. Reaching a good
+	// incumbent early tightens the admissible bound and prunes most of the
+	// tracks^h enumeration; the bound is re-checked at pop time because the
+	// incumbent may have improved since the node was pushed.
+	stack := m.stack[:0]
+	stack = append(stack, mpcNode{step: 0, first: -1, last: int32(ctx.LastQuality), buffer: ctx.BufferS})
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		steps := h - int(n.step)
+		if n.qoe+upperBound(v, steps) <= bestQoE {
+			continue // cannot beat the incumbent
 		}
-		if step == h {
-			if qoe > bestQoE {
-				bestQoE = qoe
-				bestFirst = seq[0]
-			}
-			return
+		if steps == 0 {
+			// The bound check above already established n.qoe > bestQoE.
+			bestQoE = n.qoe
+			bestFirst = int(n.first)
+			continue
 		}
+		children := m.children[:0]
 		for q := 0; q < tracks; q++ {
-			seq[step] = q
-			dl := v.ChunkMb(q) / pred
+			dl := dlq[q]
 			stall := 0.0
-			b := buffer
+			b := n.buffer
 			if dl > b {
 				stall = dl - b
 				b = 0
@@ -309,17 +390,35 @@ func (m *MPC) Select(ctx *Context) int {
 			}
 			b += v.ChunkS
 			stepQoE := v.BitratesMbps[q] - rebuf*stall
-			if !(step == 0 && ctx.ChunkIndex == 0) {
-				prev := last
-				if step == 0 {
-					prev = ctx.LastQuality
-				}
-				stepQoE -= smooth * math.Abs(v.BitratesMbps[q]-v.BitratesMbps[prev])
+			if !(n.step == 0 && ctx.ChunkIndex == 0) {
+				stepQoE -= smooth * math.Abs(v.BitratesMbps[q]-v.BitratesMbps[int(n.last)])
 			}
-			walk(step+1, b, q, qoe+stepQoE)
+			first := n.first
+			if n.step == 0 {
+				first = int32(q)
+			}
+			children = append(children, mpcNode{
+				step: n.step + 1, first: first, last: int32(q),
+				buffer: b, qoe: n.qoe + stepQoE,
+			})
 		}
+		// Push in ascending-QoE order (insertion sort) so the best child
+		// pops first; on exact QoE ties the lower track pops first,
+		// matching the left-to-right preference of a plain DFS.
+		for i := 1; i < len(children); i++ {
+			c := children[i]
+			j := i - 1
+			for j >= 0 && (children[j].qoe > c.qoe ||
+				(children[j].qoe == c.qoe && children[j].last < c.last)) {
+				children[j+1] = children[j]
+				j--
+			}
+			children[j+1] = c
+		}
+		stack = append(stack, children...)
+		m.children = children[:0]
 	}
-	walk(0, ctx.BufferS, ctx.LastQuality, 0)
+	m.stack = stack[:0]
 	return bestFirst
 }
 
@@ -330,9 +429,13 @@ func upperBound(v Video, steps int) float64 {
 	return float64(steps) * v.Top()
 }
 
+// defaultHarmonic is the shared fallback predictor: HarmonicPredictor is
+// stateless, so one instance serves every MPC and every goroutine.
+var defaultHarmonic = &HarmonicPredictor{}
+
 func (m *MPC) predictor() Predictor {
 	if m.Pred != nil {
 		return m.Pred
 	}
-	return &HarmonicPredictor{}
+	return defaultHarmonic
 }

@@ -26,6 +26,8 @@ type Pensieve struct {
 	// Stochastic switches between greedy (evaluation) and sampled
 	// (training) action selection.
 	Stochastic bool
+
+	state []float64 // reusable feature buffer
 }
 
 // Name implements Algorithm.
@@ -34,11 +36,31 @@ func (p *Pensieve) Name() string { return "Pensieve" }
 // Reset implements Algorithm.
 func (p *Pensieve) Reset() {}
 
+// Clone implements Cloner: the clone shares the trained (frozen) network
+// weights but owns its forward-pass scratch and action RNG, so greedy
+// evaluation is safe per goroutine. Stochastic clones stay deterministic
+// but draw from their own stream, not the parent's.
+func (p *Pensieve) Clone() Algorithm {
+	return &Pensieve{policy: p.policy.CloneEval(1), video: p.video, Stochastic: p.Stochastic}
+}
+
 // state assembles the normalised feature vector.
 func pensieveState(ctx *Context) []float64 {
+	return pensieveStateInto(nil, ctx)
+}
+
+// pensieveStateInto assembles the feature vector into x, growing it only if
+// the capacity is short.
+func pensieveStateInto(x []float64, ctx *Context) []float64 {
 	v := ctx.Video
 	top := v.Top()
-	x := make([]float64, stateDim)
+	if cap(x) < stateDim {
+		x = make([]float64, stateDim)
+	}
+	x = x[:stateDim]
+	for i := range x {
+		x[i] = 0
+	}
 	x[0] = v.BitratesMbps[ctx.LastQuality] / top
 	x[1] = ctx.BufferS / 10.0
 	for i := 0; i < thrptLags; i++ {
@@ -55,11 +77,11 @@ func pensieveState(ctx *Context) []float64 {
 
 // Select implements Algorithm.
 func (p *Pensieve) Select(ctx *Context) int {
-	st := pensieveState(ctx)
+	p.state = pensieveStateInto(p.state, ctx)
 	if p.Stochastic {
-		return p.policy.Sample(st)
+		return p.policy.Sample(p.state)
 	}
-	return p.policy.Greedy(st)
+	return p.policy.Greedy(p.state)
 }
 
 // TrainOptions configures Pensieve training.

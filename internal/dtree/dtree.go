@@ -96,17 +96,14 @@ func TrainRegressor(X [][]float64, y []float64, opt Options) (*Regressor, error)
 	if err != nil {
 		return nil, err
 	}
-	opt = opt.withDefaults(true)
-	idx := make([]int, len(X))
-	for i := range idx {
-		idx[i] = i
-	}
+	g := &regGrower{X: X, y: y, opt: opt.withDefaults(true),
+		scratch: make([]int32, 0, len(X))}
 	r := &Regressor{nFeatures: nf}
-	r.root = growReg(X, y, idx, opt, 0)
+	r.root = g.grow(featureOrders(X), 0)
 	return r, nil
 }
 
-func meanAndSSE(y []float64, idx []int) (mean, sse float64) {
+func meanAndSSE(y []float64, idx []int32) (mean, sse float64) {
 	for _, i := range idx {
 		mean += y[i]
 	}
@@ -118,44 +115,90 @@ func meanAndSSE(y []float64, idx []int) (mean, sse float64) {
 	return mean, sse
 }
 
-func growReg(X [][]float64, y []float64, idx []int, opt Options, depth int) *node {
-	mean, sse := meanAndSSE(y, idx)
-	n := &node{feature: -1, value: mean, samples: len(idx), impurity: sse}
-	if depth >= opt.MaxDepth || len(idx) < 2*opt.MinLeaf || sse <= 1e-12 {
-		return n
-	}
-	feat, thr, gain := bestRegSplit(X, y, idx, opt.MinLeaf)
-	if feat < 0 || gain <= opt.MinImpurityDecrease {
-		return n
-	}
-	var li, ri []int
-	for _, i := range idx {
-		if X[i][feat] < thr {
-			li = append(li, i)
-		} else {
-			ri = append(ri, i)
+// featureOrders returns, per feature, the sample indices sorted by that
+// feature's value (ties broken by index, so growth is deterministic). The
+// orders are computed once per training set and carved by stable partition
+// at every node, replacing the per-node per-feature sort that dominated
+// GBDT training time.
+func featureOrders(X [][]float64) [][]int32 {
+	nf := len(X[0])
+	orders := make([][]int32, nf)
+	for f := 0; f < nf; f++ {
+		o := make([]int32, len(X))
+		for i := range o {
+			o[i] = int32(i)
 		}
+		sort.Slice(o, func(a, b int) bool {
+			xa, xb := X[o[a]][f], X[o[b]][f]
+			if xa != xb {
+				return xa < xb
+			}
+			return o[a] < o[b]
+		})
+		orders[f] = o
 	}
-	if len(li) < opt.MinLeaf || len(ri) < opt.MinLeaf {
+	return orders
+}
+
+// regGrower grows one regression tree over presorted per-feature orders.
+// The orders passed to grow are consumed (partitioned in place).
+type regGrower struct {
+	X       [][]float64
+	y       []float64
+	opt     Options
+	scratch []int32 // right-half buffer for the stable partition
+}
+
+func (g *regGrower) grow(orders [][]int32, depth int) *node {
+	idx := orders[0]
+	mean, sse := meanAndSSE(g.y, idx)
+	n := &node{feature: -1, value: mean, samples: len(idx), impurity: sse}
+	if depth >= g.opt.MaxDepth || len(idx) < 2*g.opt.MinLeaf || sse <= 1e-12 {
+		return n
+	}
+	feat, thr, gain := g.bestSplit(orders, sse)
+	if feat < 0 || gain <= g.opt.MinImpurityDecrease {
+		return n
+	}
+	// Stable partition of every feature's order around the chosen split:
+	// left and right halves stay sorted, so child nodes never re-sort.
+	left := make([][]int32, len(orders))
+	right := make([][]int32, len(orders))
+	for f := range orders {
+		o := orders[f]
+		k := 0
+		r := g.scratch[:0]
+		for _, i := range o {
+			if g.X[i][feat] < thr {
+				o[k] = i
+				k++
+			} else {
+				r = append(r, i)
+			}
+		}
+		copy(o[k:], r)
+		left[f], right[f] = o[:k:k], o[k:]
+	}
+	if len(left[0]) < g.opt.MinLeaf || len(right[0]) < g.opt.MinLeaf {
 		return n
 	}
 	n.feature = feat
 	n.threshold = thr
-	n.left = growReg(X, y, li, opt, depth+1)
-	n.right = growReg(X, y, ri, opt, depth+1)
+	n.left = g.grow(left, depth+1)
+	n.right = g.grow(right, depth+1)
 	return n
 }
 
-// bestRegSplit scans every feature for the threshold maximising SSE
-// reduction, using the running-sums trick over sorted samples.
-func bestRegSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feat int, thr, gain float64) {
+// bestSplit scans every feature for the threshold maximising SSE reduction,
+// using the running-sums trick over the node's presorted orders. total is
+// the node's SSE.
+func (g *regGrower) bestSplit(orders [][]int32, total float64) (feat int, thr, gain float64) {
 	feat = -1
-	n := len(idx)
-	_, total := meanAndSSE(y, idx)
-	order := make([]int, n)
-	for f := 0; f < len(X[idx[0]]); f++ {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+	n := len(orders[0])
+	minLeaf := g.opt.MinLeaf
+	y := g.y
+	for f := range orders {
+		order := orders[f]
 		var sumL, sqL float64
 		sumT, sqT := 0.0, 0.0
 		for _, i := range order {
@@ -169,7 +212,7 @@ func bestRegSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feat int,
 			if k+1 < minLeaf || n-(k+1) < minLeaf {
 				continue
 			}
-			a, b := X[order[k]][f], X[order[k+1]][f]
+			a, b := g.X[order[k]][f], g.X[order[k+1]][f]
 			if a == b {
 				continue
 			}
@@ -178,9 +221,8 @@ func bestRegSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feat int,
 			sseL := sqL - sumL*sumL/nl
 			sumR := sumT - sumL
 			sseR := (sqT - sqL) - sumR*sumR/nr
-			g := total - sseL - sseR
-			if g > gain {
-				gain = g
+			if dec := total - sseL - sseR; dec > gain {
+				gain = dec
 				feat = f
 				thr = (a + b) / 2
 			}
@@ -563,9 +605,13 @@ type GBDT struct {
 	trees []*Regressor
 }
 
-// TrainGBDT fits a boosted ensemble on (X, y).
+// TrainGBDT fits a boosted ensemble on (X, y). The per-feature sample
+// orders are sorted once for the whole ensemble and copied into a reusable
+// work buffer each round: only the residuals change between rounds, never
+// the feature values the orders depend on.
 func TrainGBDT(X [][]float64, y []float64, opt GBDTOptions) (*GBDT, error) {
-	if _, err := validate(X, len(y)); err != nil {
+	nf, err := validate(X, len(y))
+	if err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults()
@@ -581,6 +627,13 @@ func TrainGBDT(X [][]float64, y []float64, opt GBDTOptions) (*GBDT, error) {
 	for i := range pred {
 		pred[i] = mean
 	}
+	master := featureOrders(X)
+	work := make([][]int32, len(master))
+	for f := range work {
+		work[f] = make([]int32, len(X))
+	}
+	grower := &regGrower{X: X, y: resid, opt: opt.Tree.withDefaults(true),
+		scratch: make([]int32, 0, len(X))}
 	for round := 0; round < opt.Trees; round++ {
 		var maxAbs float64
 		for i := range y {
@@ -592,10 +645,11 @@ func TrainGBDT(X [][]float64, y []float64, opt GBDTOptions) (*GBDT, error) {
 		if maxAbs < 1e-9 {
 			break // perfectly fit
 		}
-		tr, err := TrainRegressor(X, resid, opt.Tree)
-		if err != nil {
-			return nil, err
+		for f := range master {
+			copy(work[f], master[f])
 		}
+		tr := &Regressor{nFeatures: nf}
+		tr.root = grower.grow(work, 0)
 		g.trees = append(g.trees, tr)
 		for i := range pred {
 			pred[i] += g.lr * tr.Predict(X[i])

@@ -98,7 +98,7 @@ func AblationWmem(cfg Config) []*Table {
 // buffer sizes, but a bigger buffer absorbs more of the damage.
 func AblationChunkBuffer(cfg Config) []*Table {
 	n := cfg.pick(15, 50)
-	tr5 := trace.GenSet5G(n, 400, cfg.Seed)
+	tr5 := trace.CachedSet5G(n, 400, cfg.Seed)
 	t := &Table{ID: "ablation-chunk-buffer", Title: "Chunk length x player buffer (fastMPC, mmWave 5G)",
 		Header: []string{"chunk (s)", "buffer (s)", "bitrate", "stall%"}}
 	for _, chunk := range []float64{4, 1} {
@@ -125,12 +125,12 @@ func AblationSwitchThreshold(cfg Config) []*Table {
 	t := &Table{ID: "ablation-switch-threshold", Title: "5G-aware scheme: buffer threshold sweep",
 		Header: []string{"threshold (s)", "stall (s)", "bitrate", "time on 4G (s)"}}
 	v := video5G()
+	tr5s := trace.CachedSet5G(n, 400, cfg.Seed+1)
+	tr4s := trace.CachedSet4G(n, 400, cfg.Seed+1)
 	for _, thresh := range []float64{4, 10, 16} {
 		var stall, br, t4 float64
 		for i := 0; i < n; i++ {
-			tr5 := trace.Gen5GmmWave(cfg.Seed+int64(i)*7919+1, 400)
-			tr4 := trace.Gen4G(cfg.Seed+int64(i)*104729+1, 400)
-			r := abr.SimulateIfaceThreshold(v, &abr.MPC{}, tr5, tr4, abr.FiveGAware, thresh, abr.Options{})
+			r := abr.SimulateIfaceThreshold(v, &abr.MPC{}, tr5s[i], tr4s[i], abr.FiveGAware, thresh, abr.Options{})
 			stall += r.StallS
 			br += r.NormBitrate
 			t4 += r.Time4GS

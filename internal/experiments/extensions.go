@@ -107,7 +107,7 @@ func ExtensionBBR(cfg Config) []*Table {
 // aborts a doomed download and refetches the chunk at the lowest track.
 func ExtensionAbandon(cfg Config) []*Table {
 	n := cfg.pick(20, trace.NumTraces5G)
-	tr5 := trace.GenSet5G(n, traceLenS, cfg.Seed)
+	tr5 := trace.CachedSet5G(n, traceLenS, cfg.Seed)
 	v := video5G()
 	t := &Table{ID: "extension-abandon", Title: "Chunk abandonment on mmWave 5G (fastMPC)",
 		Header: []string{"Player", "bitrate", "stall%", "abandons/session", "wasted (Mb)"}}

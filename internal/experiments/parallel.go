@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,7 @@ func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
 		workers = len(ids)
 	}
 	results := make([]Result, len(ids))
+	order := scheduleOrder(ids)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -68,10 +70,11 @@ func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ids) {
+				k := int(next.Add(1)) - 1
+				if k >= len(order) {
 					return
 				}
+				i := order[k]
 				start := time.Now()
 				var tables []*Table
 				events := sim.CountEvents(func() { tables = fns[i](cfg) })
@@ -86,6 +89,86 @@ func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
 	}
 	wg.Wait()
 	return results, nil
+}
+
+// expectedWallMs is the static longest-processing-time weight table seeded
+// from a recorded full-battery run (scripts/bench.sh). The values only need
+// to rank the experiments, not predict them: dispatching the long poles
+// first keeps the last worker from starting a 700 ms experiment when every
+// other worker has already drained its queue.
+var expectedWallMs = map[string]float64{
+	"fig18a":                    763,
+	"fig24":                     698,
+	"fig17":                     421,
+	"fig6":                      113,
+	"fig7":                      111,
+	"ablation-chunk-buffer":     109,
+	"fig3":                      102,
+	"fig23":                     100,
+	"fig4":                      99,
+	"fig18b":                    72,
+	"fig18c":                    40,
+	"table4":                    38,
+	"ablation-switch-threshold": 28,
+	"fig16":                     27,
+	"fig15":                     26,
+	"fig1":                      22,
+	"fig8":                      21,
+	"longitudinal":              21,
+	"extension-abandon":         20,
+	"fig9":                      5.3,
+	"validation":                4.3,
+	"fig25":                     3.3,
+	"extension-bbr":             3.1,
+	"table7":                    2.4,
+	"ablation-wmem":             2.2,
+	"fig22":                     2.1,
+	"table6":                    2,
+	"fig10":                     1.6,
+	"fig13":                     1.1,
+	"fig14":                     0.75,
+	"fig20":                     0.66,
+	"table9":                    0.33,
+	"table5":                    0.32,
+	"fig19":                     0.27,
+	"fig21":                     0.2,
+	"table1":                    0.09,
+	"fig11":                     0.07,
+	"fig2":                      0.06,
+	"table8":                    0.06,
+	"ablation-tail":             0.05,
+	"fig27":                     0.04,
+	"table3":                    0.04,
+	"fig26":                     0.04,
+	"table2":                    0.03,
+	"fig5":                      0.03,
+	"extension-midband":         0.03,
+	"fig12":                     0.025,
+}
+
+// defaultWallMs is assumed for experiments missing from the table, placing
+// new (unmeasured) experiments mid-queue rather than last.
+const defaultWallMs = 50
+
+// scheduleOrder returns the dispatch order of the given experiments:
+// longest expected runtime first, original position as a deterministic
+// tie-break. Results are still written at each experiment's original index,
+// so output order never depends on scheduling.
+func scheduleOrder(ids []string) []int {
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	weight := func(i int) float64 {
+		if w, ok := expectedWallMs[ids[i]]; ok {
+			return w
+		}
+		return defaultWallMs
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weight(order[a]) > weight(order[b])
+	})
+	return order
 }
 
 // RunAllParallel executes every registered experiment over a worker pool

@@ -162,7 +162,11 @@ func Fig13(cfg Config) []*Table {
 			Header: []string{"Band", "RSRP range (dBm)", "mean DL (Mbps)", "mean power (W)", "samples"}}
 		for _, s := range city.sets {
 			th, rsrp, pw := walkDataset(s, dur, cfg.Seed)
-			for _, b := range stats.Bin(rsrp, pw, -115, -60, 11) {
+			bins, err := stats.Bin(rsrp, pw, -115, -60, 11)
+			if err != nil {
+				panic(err)
+			}
+			for _, b := range bins {
 				if len(b.Values) < 5 {
 					continue
 				}
@@ -200,7 +204,11 @@ func Fig14(cfg Config) []*Table {
 				eff = append(eff, 0)
 			}
 		}
-		for _, b := range stats.Bin(rsrp, eff, -110, -75, 5) {
+		bins, err := stats.Bin(rsrp, eff, -110, -75, 5)
+		if err != nil {
+			panic(err)
+		}
+		for _, b := range bins {
 			if len(b.Values) < 5 {
 				continue
 			}

@@ -67,11 +67,11 @@ func algorithms(cfg Config, v abr.Video, train [][]float64) []abr.Algorithm {
 func Fig17(cfg Config) []*Table {
 	n := cfg.pick(20, trace.NumTraces5G)
 	n4 := cfg.pick(20, trace.NumTraces4G)
-	tr5 := trace.GenSet5G(n, traceLenS, cfg.Seed)
-	tr4 := trace.GenSet4G(n4, traceLenS, cfg.Seed)
+	tr5 := trace.CachedSet5G(n, traceLenS, cfg.Seed)
+	tr4 := trace.CachedSet4G(n4, traceLenS, cfg.Seed)
 	v5, v4 := video5G(), video4G()
-	train5 := trace.GenSet5G(trainCount, traceLenS, trainSeed)
-	train4 := trace.GenSet4G(trainCount, traceLenS, trainSeed)
+	train5 := trace.CachedSet5G(trainCount, traceLenS, trainSeed)
+	train4 := trace.CachedSet4G(trainCount, traceLenS, trainSeed)
 
 	t := &Table{ID: "fig17", Title: "ABR QoE on 5G (mmWave) and 4G",
 		Header: []string{"Algorithm", "5G bitrate", "5G stall%", "4G bitrate", "4G stall%", "stall increase (pp)"}}
@@ -92,9 +92,9 @@ func Fig17(cfg Config) []*Table {
 // Fig18a compares throughput predictors inside fastMPC on mmWave 5G.
 func Fig18a(cfg Config) []*Table {
 	n := cfg.pick(20, trace.NumTraces5G)
-	tr5 := trace.GenSet5G(n, traceLenS, cfg.Seed)
+	tr5 := trace.CachedSet5G(n, traceLenS, cfg.Seed)
 	v := video5G()
-	gbdt, err := abr.TrainGBDTPredictor(trace.GenSet5G(trainCount, traceLenS, trainSeed+1), 8, chunkS, cfg.Seed)
+	gbdt, err := abr.TrainGBDTPredictor(trace.CachedSet5G(trainCount, traceLenS, trainSeed+1), 8, chunkS, cfg.Seed)
 	if err != nil {
 		panic(err)
 	}
@@ -123,7 +123,7 @@ func Fig18a(cfg Config) []*Table {
 // Fig18b studies chunk length (4/2/1 s) under fastMPC on mmWave 5G.
 func Fig18b(cfg Config) []*Table {
 	n := cfg.pick(20, trace.NumTraces5G)
-	tr5 := trace.GenSet5G(n, traceLenS, cfg.Seed)
+	tr5 := trace.CachedSet5G(n, traceLenS, cfg.Seed)
 	t := &Table{ID: "fig18b", Title: "fastMPC QoE by chunk length (mmWave 5G)",
 		Header: []string{"Chunk length", "bitrate", "stall%", "QoE/chunk"}}
 	var bit, stall [3]float64
@@ -148,10 +148,12 @@ func Fig18b(cfg Config) []*Table {
 // ifaceRun evaluates one interface-selection scheme over paired 5G/4G traces.
 func ifaceRun(cfg Config, scheme abr.Scheme, n int) (agg abr.Aggregate, energyJ float64, time4G float64) {
 	v := video5G()
+	// CachedSet*(n, d, seed+1)[i] generates from seed+1+i*stride, exactly
+	// the per-i seeds this loop used before the cache existed.
+	tr5s := trace.CachedSet5G(n, traceLenS, cfg.Seed+1)
+	tr4s := trace.CachedSet4G(n, traceLenS, cfg.Seed+1)
 	for i := 0; i < n; i++ {
-		tr5 := trace.Gen5GmmWave(cfg.Seed+int64(i)*7919+1, traceLenS)
-		tr4 := trace.Gen4G(cfg.Seed+int64(i)*104729+1, traceLenS)
-		r := abr.SimulateIface(v, &abr.MPC{}, tr5, tr4, scheme, abr.Options{})
+		r := abr.SimulateIface(v, &abr.MPC{}, tr5s[i], tr4s[i], scheme, abr.Options{})
 		agg.NormBitrate += r.NormBitrate
 		agg.StallPct += r.StallPct
 		agg.MeanStallS += r.StallS

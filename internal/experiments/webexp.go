@@ -38,7 +38,8 @@ func Table5(cfg Config) []*Table {
 		for _, w := range corpus {
 			vals = append(vals, w.Features()[idx])
 		}
-		return stats.Median(vals), stats.Percentile(vals, 95)
+		stats.SortN(vals)
+		return stats.PercentileSorted(vals, 50), stats.PercentileSorted(vals, 95)
 	}
 	names := []string{
 		"# of dynamic/total objs", "Size of dynamic objs / total page size",
@@ -111,10 +112,14 @@ func Fig20(cfg Config) []*Table {
 	}
 	t := &Table{ID: "fig20", Title: "CDF of PLT and energy (4G vs 5G)",
 		Header: []string{"Percentile", "4G PLT (s)", "5G PLT (s)", "4G Energy (J)", "5G Energy (J)"}}
+	stats.SortN(p4)
+	stats.SortN(p5)
+	stats.SortN(e4)
+	stats.SortN(e5)
 	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
 		t.AddRow(fmt.Sprintf("p%.0f", p),
-			f2(stats.Percentile(p4, p)), f2(stats.Percentile(p5, p)),
-			f2(stats.Percentile(e4, p)), f2(stats.Percentile(e5, p)))
+			f2(stats.PercentileSorted(p4, p)), f2(stats.PercentileSorted(p5, p)),
+			f2(stats.PercentileSorted(e4, p)), f2(stats.PercentileSorted(e5, p)))
 	}
 	t.Notes = append(t.Notes,
 		"paper: 5G PLT is always better; 4G energy is always better")
@@ -131,7 +136,11 @@ func Fig21(cfg Config) []*Table {
 	}
 	t := &Table{ID: "fig21", Title: "4G's PLT penalty vs energy saving over 5G",
 		Header: []string{"Penalty of additional PLT (%)", "mean energy saving (%)", "sites"}}
-	for _, b := range stats.Bin(pens, savs, 0, 180, 30) {
+	bins, err := stats.Bin(pens, savs, 0, 180, 30)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range bins {
 		if len(b.Values) < 3 {
 			continue
 		}

@@ -58,11 +58,24 @@ func (m *MLP) NumOutputs() int { return m.sizes[len(m.sizes)-1][1] }
 // (activations[0] is the input, activations[last] the linear output).
 func (m *MLP) forward(x []float64) [][]float64 {
 	acts := make([][]float64, len(m.sizes)+1)
+	m.forwardInto(acts, x)
+	return acts
+}
+
+// forwardInto is forward with caller-owned activation storage: acts must
+// have length len(m.sizes)+1. acts[0] is set to alias x; the per-layer
+// buffers are reused across calls and only (re)allocated when a layer's
+// width changes, which makes repeated inference allocation-free.
+func (m *MLP) forwardInto(acts [][]float64, x []float64) {
 	acts[0] = x
 	cur := x
 	for l, sz := range m.sizes {
 		in, out := sz[0], sz[1]
-		next := make([]float64, out)
+		next := acts[l+1]
+		if len(next) != out {
+			next = make([]float64, out)
+			acts[l+1] = next
+		}
 		for o := 0; o < out; o++ {
 			s := m.b[l][o]
 			row := m.w[l][o*in : (o+1)*in]
@@ -76,10 +89,8 @@ func (m *MLP) forward(x []float64) [][]float64 {
 				next[o] = math.Tanh(next[o])
 			}
 		}
-		acts[l+1] = next
 		cur = next
 	}
-	return acts
 }
 
 // Forward evaluates the network on x and returns the linear outputs.
@@ -101,13 +112,22 @@ func Softmax(logits []float64) []float64 {
 	if len(logits) == 0 {
 		return nil
 	}
+	return softmaxInto(nil, logits)
+}
+
+// softmaxInto writes the distribution into dst, growing it only when the
+// capacity is short.
+func softmaxInto(dst, logits []float64) []float64 {
+	if cap(dst) < len(logits) {
+		dst = make([]float64, len(logits))
+	}
+	out := dst[:len(logits)]
 	maxV := logits[0]
 	for _, v := range logits[1:] {
 		if v > maxV {
 			maxV = v
 		}
 	}
-	out := make([]float64, len(logits))
 	sum := 0.0
 	for i, v := range logits {
 		out[i] = math.Exp(v - maxV)
@@ -123,6 +143,14 @@ func Softmax(logits []float64) []float64 {
 type Policy struct {
 	Net *MLP
 	rng *rand.Rand
+
+	// Inference and gradient scratch, lazily sized and reused across calls
+	// (one Policy per goroutine — see CloneEval).
+	acts   [][]float64
+	probs  []float64
+	gw, gb [][]float64
+	delta  []float64
+	back   [][]float64
 }
 
 // NewPolicy creates a policy with its own action-sampling random source.
@@ -130,14 +158,38 @@ func NewPolicy(net *MLP, seed int64) *Policy {
 	return &Policy{Net: net, rng: rand.New(rand.NewSource(seed))}
 }
 
+// CloneEval returns a policy sharing the (frozen) network weights but
+// owning private scratch buffers and action RNG. One clone per goroutine
+// makes concurrent inference safe as long as nobody calls Step.
+func (p *Policy) CloneEval(seed int64) *Policy {
+	return NewPolicy(p.Net, seed)
+}
+
+// probsFor computes the action distribution into the policy's scratch; the
+// returned slice is valid until the next call.
+func (p *Policy) probsFor(state []float64) []float64 {
+	if len(state) != p.Net.NumInputs() {
+		panic(fmt.Sprintf("nn: input width %d, want %d", len(state), p.Net.NumInputs()))
+	}
+	if len(p.acts) != len(p.Net.sizes)+1 {
+		p.acts = make([][]float64, len(p.Net.sizes)+1)
+	}
+	p.Net.forwardInto(p.acts, state)
+	p.probs = softmaxInto(p.probs, p.acts[len(p.acts)-1])
+	return p.probs
+}
+
 // Probs returns the action distribution at a state.
 func (p *Policy) Probs(state []float64) []float64 {
-	return Softmax(p.Net.Forward(state))
+	probs := p.probsFor(state)
+	cp := make([]float64, len(probs))
+	copy(cp, probs)
+	return cp
 }
 
 // Sample draws an action from the policy.
 func (p *Policy) Sample(state []float64) int {
-	probs := p.Probs(state)
+	probs := p.probsFor(state)
 	u := p.rng.Float64()
 	acc := 0.0
 	for a, pr := range probs {
@@ -151,7 +203,7 @@ func (p *Policy) Sample(state []float64) int {
 
 // Greedy returns the highest-probability action.
 func (p *Policy) Greedy(state []float64) int {
-	probs := p.Probs(state)
+	probs := p.probsFor(state)
 	best := 0
 	for a, pr := range probs {
 		if pr > probs[best] {
@@ -171,24 +223,50 @@ func (p *Policy) Step(states [][]float64, actions []int, advantages []float64, l
 			len(states), len(actions), len(advantages))
 	}
 	m := p.Net
-	// Accumulate gradients over the batch.
-	gw := make([][]float64, len(m.w))
-	gb := make([][]float64, len(m.b))
-	for l := range m.w {
-		gw[l] = make([]float64, len(m.w[l]))
-		gb[l] = make([]float64, len(m.b[l]))
+	// Accumulate gradients over the batch, into buffers reused across
+	// steps (zeroed here): minibatch training makes tens of thousands of
+	// Step calls and the per-call gradient/activation allocations dominated
+	// the training profile.
+	if len(p.gw) != len(m.w) {
+		p.gw = make([][]float64, len(m.w))
+		p.gb = make([][]float64, len(m.b))
+		for l := range m.w {
+			p.gw[l] = make([]float64, len(m.w[l]))
+			p.gb[l] = make([]float64, len(m.b[l]))
+		}
+		p.back = make([][]float64, len(m.sizes))
+		for l := range m.sizes {
+			p.back[l] = make([]float64, m.sizes[l][0])
+		}
+	}
+	gw, gb := p.gw, p.gb
+	for l := range gw {
+		for i := range gw[l] {
+			gw[l][i] = 0
+		}
+		for i := range gb[l] {
+			gb[l][i] = 0
+		}
+	}
+	if len(p.acts) != len(m.sizes)+1 {
+		p.acts = make([][]float64, len(m.sizes)+1)
 	}
 	for k, st := range states {
-		acts := m.forward(st)
+		m.forwardInto(p.acts, st)
+		acts := p.acts
 		logits := acts[len(acts)-1]
-		probs := Softmax(logits)
+		p.probs = softmaxInto(p.probs, logits)
+		probs := p.probs
 		a := actions[k]
 		if a < 0 || a >= len(probs) {
 			return fmt.Errorf("nn: action %d out of range", a)
 		}
 		// dL/dlogit for REINFORCE with entropy regularisation:
 		// advantage * (onehot - probs) + entropy * d(entropy)/dlogit.
-		delta := make([]float64, len(logits))
+		if cap(p.delta) < len(logits) {
+			p.delta = make([]float64, len(logits))
+		}
+		delta := p.delta[:len(logits)]
 		for i := range logits {
 			ind := 0.0
 			if i == a {
@@ -224,7 +302,7 @@ func (p *Policy) Step(states [][]float64, actions []int, advantages []float64, l
 				break
 			}
 			// Gradient w.r.t. previous activation, through tanh.
-			next := make([]float64, in)
+			next := p.back[l]
 			for i := 0; i < in; i++ {
 				s := 0.0
 				for o := range grad {

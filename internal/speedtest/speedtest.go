@@ -146,11 +146,13 @@ func (c *Client) Repeat(s geo.Server, mode ConnMode, n int) Summary {
 		uls = append(uls, m.ULMbps)
 	}
 	p := c.path(s)
+	// The per-run series are owned by this call: sort in place once instead
+	// of letting each percentile copy-and-sort.
 	return Summary{
 		Server: s, DistanceKm: p.DistanceKm, Mode: mode, Runs: n,
-		RTTMs:     stats.Median(rtts),
-		DLp95Mbps: stats.Percentile(dls, 95),
-		ULp95Mbps: stats.Percentile(uls, 95),
+		RTTMs:     stats.PercentileSorted(stats.SortN(rtts), 50),
+		DLp95Mbps: stats.PercentileSorted(stats.SortN(dls), 95),
+		ULp95Mbps: stats.PercentileSorted(stats.SortN(uls), 95),
 	}
 }
 

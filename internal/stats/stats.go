@@ -72,26 +72,44 @@ func HarmonicMean(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. It returns 0 for an empty slice.
+// It copies xs; callers extracting several percentiles from one sample
+// should SortN once and use PercentileSorted.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	c := append([]float64(nil), xs...)
 	sort.Float64s(c)
+	return PercentileSorted(c, p)
+}
+
+// SortN sorts xs in place (ascending) and returns it, for use with
+// PercentileSorted.
+func SortN(xs []float64) []float64 {
+	sort.Float64s(xs)
+	return xs
+}
+
+// PercentileSorted is Percentile over an already-sorted slice: no copy, no
+// sort. The slice must be ascending (e.g. via SortN).
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return c[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return c[len(c)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := p / 100 * float64(len(c)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return c[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return c[lo]*(1-frac) + c[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Median returns the 50th percentile of xs.
@@ -230,21 +248,22 @@ type Bucket struct {
 
 // Bin groups ys by their paired key in keys into fixed-width bins of width w
 // starting at lo. Samples below lo or at/above hi are dropped. It is used for
-// e.g. grouping energy-efficiency samples by RSRP range (Fig. 14).
-func Bin(keys, ys []float64, lo, hi, w float64) []Bucket {
+// e.g. grouping energy-efficiency samples by RSRP range (Fig. 14). It returns
+// an error when keys and ys differ in length (a silent truncation here once
+// hid mispaired series) or when the bin geometry is degenerate.
+func Bin(keys, ys []float64, lo, hi, w float64) ([]Bucket, error) {
+	if len(keys) != len(ys) {
+		return nil, fmt.Errorf("stats: Bin length mismatch: %d keys vs %d values", len(keys), len(ys))
+	}
 	if w <= 0 || hi <= lo {
-		return nil
+		return nil, fmt.Errorf("stats: Bin degenerate geometry: lo=%g hi=%g w=%g", lo, hi, w)
 	}
 	n := int(math.Ceil((hi - lo) / w))
 	out := make([]Bucket, n)
 	for i := range out {
 		out[i] = Bucket{Lo: lo + float64(i)*w, Hi: lo + float64(i+1)*w}
 	}
-	for i := range keys {
-		if i >= len(ys) {
-			break
-		}
-		k := keys[i]
+	for i, k := range keys {
 		if k < lo || k >= hi {
 			continue
 		}
@@ -253,7 +272,7 @@ func Bin(keys, ys []float64, lo, hi, w float64) []Bucket {
 			out[b].Values = append(out[b].Values, ys[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Clamp limits v to [lo, hi].

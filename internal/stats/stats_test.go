@@ -160,7 +160,10 @@ func TestCDF(t *testing.T) {
 func TestBin(t *testing.T) {
 	keys := []float64{-110, -104, -96, -96, -50, -200}
 	ys := []float64{1, 2, 3, 4, 5, 6}
-	bs := Bin(keys, ys, -110, -90, 5)
+	bs, err := Bin(keys, ys, -110, -90, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(bs) != 4 {
 		t.Fatalf("bins = %d, want 4", len(bs))
 	}
@@ -173,8 +176,11 @@ func TestBin(t *testing.T) {
 	if len(bs[2].Values) != 2 {
 		t.Errorf("bin[-100,-95) = %v", bs[2].Values)
 	}
-	if Bin(keys, ys, 0, 10, 0) != nil {
-		t.Error("zero-width Bin != nil")
+	if _, err := Bin(keys, ys, 0, 10, 0); err == nil {
+		t.Error("zero-width Bin did not error")
+	}
+	if _, err := Bin(keys, ys[:3], -110, -90, 5); err == nil {
+		t.Error("length-mismatched Bin did not error")
 	}
 }
 

@@ -1,0 +1,82 @@
+package trace
+
+import "sync"
+
+// Per-trace seed strides within a generated set: trace i of a set draws from
+// seed + i*stride, so a set is fully determined by (kind, durS, seed) and a
+// longer set is an extension of a shorter one with the same key.
+const (
+	SeedStride5G = 7919
+	SeedStride4G = 104729
+)
+
+// setKey identifies a generated trace set independently of its length.
+type setKey struct {
+	fiveG bool
+	durS  int
+	seed  int64
+}
+
+// Cache memoizes generated trace sets across experiments. Sets are keyed by
+// (kind, duration, seed) — deliberately not by count: the cache stores the
+// longest set generated so far for each key and hands out prefixes, so an
+// experiment asking for 15 traces and another asking for 50 with the same
+// seed share the first 15 generations.
+//
+// Returned sets and their traces are shared and MUST be treated as
+// read-only; every simulation in this repo only ever reads traces.
+type Cache struct {
+	mu   sync.Mutex
+	sets map[setKey][][]float64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{sets: make(map[setKey][][]float64)} }
+
+func (c *Cache) get(k setKey, n int) [][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sets == nil {
+		c.sets = make(map[setKey][][]float64)
+	}
+	set := c.sets[k]
+	if len(set) < n {
+		stride, gen := int64(SeedStride4G), Gen4G
+		if k.fiveG {
+			stride, gen = SeedStride5G, Gen5GmmWave
+		}
+		for i := len(set); i < n; i++ {
+			set = append(set, gen(k.seed+int64(i)*stride, k.durS))
+		}
+		c.sets[k] = set
+	}
+	// Full-capacity slicing keeps a caller's append from writing into the
+	// cached backing array.
+	return set[:n:n]
+}
+
+// Set5G returns n cached mmWave traces, generating any missing tail. The
+// result is identical to GenSet5G(n, durS, seed).
+func (c *Cache) Set5G(n, durS int, seed int64) [][]float64 {
+	return c.get(setKey{fiveG: true, durS: durS, seed: seed}, n)
+}
+
+// Set4G returns n cached 4G traces, identical to GenSet4G(n, durS, seed).
+func (c *Cache) Set4G(n, durS int, seed int64) [][]float64 {
+	return c.get(setKey{fiveG: false, durS: durS, seed: seed}, n)
+}
+
+// DefaultCache is the process-wide cache used by the experiment battery;
+// experiments that share (kind, duration, seed) pay for trace generation
+// once per process instead of once per figure.
+var DefaultCache = NewCache()
+
+// CachedSet5G is GenSet5G through DefaultCache.
+func CachedSet5G(n, durS int, seed int64) [][]float64 {
+	return DefaultCache.Set5G(n, durS, seed)
+}
+
+// CachedSet4G is GenSet4G through DefaultCache.
+func CachedSet4G(n, durS int, seed int64) [][]float64 {
+	return DefaultCache.Set4G(n, durS, seed)
+}

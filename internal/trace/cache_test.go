@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The cache must be invisible to callers: a cached set is exactly the
+// generated one, and growing a key extends it with exactly the traces
+// GenSet* would have produced.
+func TestCacheMatchesGenSet(t *testing.T) {
+	c := NewCache()
+	if got, want := c.Set5G(6, 50, 9), GenSet5G(6, 50, 9); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Set5G != GenSet5G")
+	}
+	if got, want := c.Set4G(6, 50, 9), GenSet4G(6, 50, 9); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Set4G != GenSet4G")
+	}
+}
+
+func TestCachePrefixSharingAndExtension(t *testing.T) {
+	c := NewCache()
+	small := c.Set5G(3, 40, 2)
+	big := c.Set5G(8, 40, 2) // extends the same key
+	if !reflect.DeepEqual(big, GenSet5G(8, 40, 2)) {
+		t.Fatalf("extended set != GenSet5G")
+	}
+	for i := range small {
+		if &small[i][0] != &big[i][0] {
+			t.Errorf("trace %d: prefix not shared with the extended set", i)
+		}
+	}
+	// Distinct durations and seeds are distinct keys.
+	if reflect.DeepEqual(c.Set5G(3, 40, 2), c.Set5G(3, 41, 2)) {
+		t.Error("different durations share a key")
+	}
+	if reflect.DeepEqual(c.Set5G(3, 40, 2), c.Set5G(3, 40, 3)) {
+		t.Error("different seeds share a key")
+	}
+	// Appending to a returned set must not write into the cached backing
+	// array (full-capacity slicing).
+	grown := append(c.Set5G(3, 40, 2), []float64{1})
+	_ = grown
+	if !reflect.DeepEqual(c.Set5G(4, 40, 2), GenSet5G(4, 40, 2)) {
+		t.Error("caller append corrupted the cached set")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache() // zero value also works; NewCache matches production use
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			set := c.Set5G(2+n%5, 30, 7)
+			if len(set) != 2+n%5 {
+				t.Errorf("got %d traces, want %d", len(set), 2+n%5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(c.Set5G(6, 30, 7), GenSet5G(6, 30, 7)) {
+		t.Error("concurrently-built set differs from GenSet5G")
+	}
+}

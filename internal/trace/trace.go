@@ -124,7 +124,7 @@ func Gen4G(seed int64, durS int) []float64 {
 func GenSet5G(n, durS int, seed int64) [][]float64 {
 	out := make([][]float64, n)
 	for i := range out {
-		out[i] = Gen5GmmWave(seed+int64(i)*7919, durS)
+		out[i] = Gen5GmmWave(seed+int64(i)*SeedStride5G, durS)
 	}
 	return out
 }
@@ -133,7 +133,7 @@ func GenSet5G(n, durS int, seed int64) [][]float64 {
 func GenSet4G(n, durS int, seed int64) [][]float64 {
 	out := make([][]float64, n)
 	for i := range out {
-		out[i] = Gen4G(seed+int64(i)*104729, durS)
+		out[i] = Gen4G(seed+int64(i)*SeedStride4G, durS)
 	}
 	return out
 }

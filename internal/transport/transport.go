@@ -117,6 +117,7 @@ type cubicFlow struct {
 	cwnd       float64 // packets
 	ssthresh   float64
 	wmax       float64
+	k          float64 // CUBIC inflection time, cached at each loss
 	epochStart float64 // time of last loss
 	inSlowStrt bool
 }
@@ -146,11 +147,17 @@ func SimulateTCP(p PathParams, o TCPOptions, rng *rand.Rand) Result {
 	var res Result
 	nSec := int(math.Ceil(o.DurationS))
 	res.PerSecondMbps = make([]float64, nSec)
+	// log(1-LossRate), hoisted so the per-flow survival probability is one
+	// Exp instead of a Pow every RTT.
+	logKeep := 0.0
+	if p.LossRate > 0 {
+		logKeep = math.Log1p(-p.LossRate)
+	}
+	desired := make([]float64, len(flows))
 	now := 0.0
 	for now < o.DurationS {
 		// Demand this RTT.
 		demand := 0.0
-		desired := make([]float64, len(flows))
 		for i := range flows {
 			d := flows[i].cwnd
 			if d > wndCap {
@@ -176,7 +183,10 @@ func SimulateTCP(p PathParams, o TCPOptions, rng *rand.Rand) Result {
 			// Loss: random per-packet + time-driven radio events +
 			// proportional drop-tail overflow when the aggregate exceeds
 			// link + queue.
-			lossP := 1 - math.Pow(1-p.LossRate, sent)
+			lossP := 0.0
+			if p.LossRate > 0 {
+				lossP = 1 - math.Exp(logKeep*sent)
+			}
 			// Radio loss episodes only cost a window reduction when the
 			// pipe is actually full; a window-limited flow rides out a
 			// short capacity dip with its (empty) queue headroom.
@@ -191,6 +201,7 @@ func SimulateTCP(p PathParams, o TCPOptions, rng *rand.Rand) Result {
 			lost := rng.Float64() < lossP
 			if lost {
 				f.wmax = f.cwnd
+				f.k = math.Cbrt(f.wmax * (1 - cubicBeta) / cubicC)
 				f.cwnd = math.Max(2, f.cwnd*cubicBeta)
 				f.ssthresh = f.cwnd
 				f.epochStart = now
@@ -206,8 +217,8 @@ func SimulateTCP(p PathParams, o TCPOptions, rng *rand.Rand) Result {
 			// CUBIC window evolution: the greater of the cubic curve and
 			// the TCP-friendly (Reno-equivalent) window (RFC 8312 §4.2).
 			t := now + rtt - f.epochStart
-			k := math.Cbrt(f.wmax * (1 - cubicBeta) / cubicC)
-			target := cubicC*math.Pow(t-k, 3) + f.wmax
+			d := t - f.k
+			target := cubicC*d*d*d + f.wmax
 			reno := f.wmax*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*(t/rtt)
 			if reno > target {
 				target = reno

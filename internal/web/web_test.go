@@ -170,7 +170,10 @@ func TestFig21SavingsAtSmallPenalty(t *testing.T) {
 		pens = append(pens, m.PLTPenaltyPct)
 		savs = append(savs, m.EnergySavingPct)
 	}
-	buckets := stats.Bin(pens, savs, 0, 120, 20)
+	buckets, err := stats.Bin(pens, savs, 0, 120, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	first := stats.Mean(buckets[0].Values)
 	if len(buckets[0].Values) > 3 && (first < 40 || first > 95) {
 		t.Errorf("saving at the smallest penalty bucket = %.0f%%, want large (~70%%)", first)

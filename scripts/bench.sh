@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — run the per-experiment campaign benchmarks plus the sim-kernel
-# micro-benchmarks and emit BENCH_1.json: {"<name>": {"ns_per_op": ...,
-# "bytes_per_op": ..., "allocs_per_op": ...}, ...} so the perf trajectory is
-# tracked from PR 1 onward.
+# and ABR hot-path micro-benchmarks, emit BENCH_2.json: {"<name>":
+# {"ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}, ...}, and
+# print the per-benchmark delta against the previous recording (BENCH_1.json)
+# so the perf trajectory is tracked PR over PR.
 #
 # Usage:
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [output.json] [baseline.json]
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one full campaign per
@@ -13,15 +14,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH_2.json}"
+base="${2:-BENCH_1.json}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 # Root package: one benchmark per paper table/figure plus the serial and
 # parallel whole-campaign runners. internal/sim: kernel hot-path numbers.
+# internal/abr: the Simulate/MPC.Select/Evaluate hot path this PR targets.
 go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" \
-    . ./internal/sim | tee "$raw"
+    . ./internal/sim ./internal/abr | tee "$raw"
 
 awk '
 BEGIN { n = 0 }
@@ -44,3 +47,29 @@ END { if (n) printf("\n") }
 ' "$raw" | { echo "{"; cat; echo "}"; } > "$out"
 
 echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2
+
+# Per-benchmark delta vs the baseline recording, portable awk only: flatten
+# each {"Name": {"ns_per_op": N, ...}} file to "Name ns allocs" lines and
+# join on the name.
+if [ -f "$base" ]; then
+    flatten() {
+        tr -d ' \n' < "$1" | tr '}' '\n' | awk -F'"' '
+        /ns_per_op/ {
+            name = $2
+            split($0, kv, /ns_per_op":/);  split(kv[2], a, /[,}"]/)
+            split($0, kv, /allocs_per_op":/); split(kv[2], b, /[,}"]/)
+            print name, a[1], b[1]
+        }'
+    }
+    echo "" >&2
+    echo "delta vs $base (ns/op and allocs/op, new/old):" >&2
+    { flatten "$base" | sed 's/^/OLD /'; flatten "$out" | sed 's/^/NEW /'; } | awk '
+    $1 == "OLD" { ns[$2] = $3; al[$2] = $4; next }
+    $1 == "NEW" {
+        if (!($2 in ns)) { printf("  %-28s (new benchmark)\n", $2); next }
+        rns = (ns[$2] > 0) ? $3 / ns[$2] : 0
+        ral = (al[$2] > 0) ? $4 / al[$2] : ($4 == al[$2] ? 1 : 0)
+        printf("  %-28s ns/op %10.0f -> %10.0f (%.2fx)   allocs %8d -> %8d (%.2fx)\n",
+               $2, ns[$2], $3, rns, al[$2], $4, ral)
+    }' >&2
+fi

@@ -22,4 +22,18 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== battery determinism (serial vs parallel) =="
+# The whole-campaign contract: rendered tables are byte-identical for any
+# -parallel value. Run the quick battery both ways and diff the output.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/fgrepro" ./cmd/fgrepro
+"$tmpdir/fgrepro" -quick -seed 1 all > "$tmpdir/serial.txt"
+"$tmpdir/fgrepro" -quick -seed 1 -parallel 4 all > "$tmpdir/parallel.txt"
+if ! diff -q "$tmpdir/serial.txt" "$tmpdir/parallel.txt" >/dev/null; then
+    echo "battery output differs between serial and parallel runs:" >&2
+    diff "$tmpdir/serial.txt" "$tmpdir/parallel.txt" >&2 || true
+    exit 1
+fi
+
 echo "ci: all green"
