@@ -1,0 +1,165 @@
+// Command fgvet runs the repo's determinism analyzer suite (internal/lint)
+// over the module: five stdlib-only checks that keep every experiment a
+// pure function of (experiment, seed).
+//
+// Usage:
+//
+//	fgvet [-checks walltime,maporder,...] [-list] [patterns]
+//
+// Patterns follow the go tool's shape: `./...` (the default) analyzes the
+// whole module; `./internal/abr/...` or `./internal/abr` restrict the
+// reported packages (the whole module is still typechecked, since checks
+// need cross-package type information). Exit status is 1 when any
+// diagnostic is reported, 2 on usage or load errors.
+//
+// Findings are suppressed line-by-line with
+//
+//	//fgvet:allow <check> <reason>
+//
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fivegsim/internal/lint"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fgvet [-checks list] [-list] [patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := lint.AllChecks()
+	if *list {
+		for _, c := range all {
+			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	checks := all
+	if *checksFlag != "" {
+		byName := make(map[string]*lint.Check, len(all))
+		for _, c := range all {
+			byName[c.Name] = c
+		}
+		checks = nil
+		for _, name := range strings.Split(*checksFlag, ",") {
+			c, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fgvet: unknown check %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgvet: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err = filterPackages(pkgs, root, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, checks)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fgvet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterPackages restricts the analyzed set to the given patterns. With no
+// patterns (or `./...`) everything is kept.
+func filterPackages(pkgs []*lint.Package, root string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	keep := func(relDir string) bool { return false }
+	any := false
+	var preds []func(string) bool
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(filepath.Clean(pat))
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "." {
+			any = true
+			continue
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			p := rest
+			preds = append(preds, func(rel string) bool {
+				return rel == p || strings.HasPrefix(rel, p+"/")
+			})
+			continue
+		}
+		p := pat
+		preds = append(preds, func(rel string) bool { return rel == p })
+	}
+	if any {
+		return pkgs, nil
+	}
+	keep = func(rel string) bool {
+		for _, pred := range preds {
+			if pred(rel) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*lint.Package
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if keep(filepath.ToSlash(rel)) {
+			out = append(out, pkg)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s", lint.ErrNotFound, strings.Join(patterns, " "))
+	}
+	return out, nil
+}

@@ -368,13 +368,21 @@ func (m *MPC) Select(ctx *Context) int {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		steps := h - int(n.step)
-		if n.qoe+upperBound(v, steps) <= bestQoE {
-			continue // cannot beat the incumbent
+		// Prune against the incumbent. On an exact QoE tie the search must
+		// return the lowest first-chunk track (the old recursive DFS
+		// enumerated sequences lexicographically with strict improvement,
+		// so among maximisers the minimal seq[0] won); a subtree whose
+		// optimistic bound only ties the incumbent can still matter, but
+		// only if its first chunk is lower than the incumbent's.
+		bound := n.qoe + upperBound(v, steps)
+		if bound < bestQoE || (bound == bestQoE && int(n.first) >= bestFirst) {
+			continue // cannot beat the incumbent, not even on the tie-break
 		}
 		if steps == 0 {
-			// The bound check above already established n.qoe > bestQoE.
-			bestQoE = n.qoe
-			bestFirst = int(n.first)
+			if n.qoe > bestQoE || (n.qoe == bestQoE && int(n.first) < bestFirst) {
+				bestQoE = n.qoe
+				bestFirst = int(n.first)
+			}
 			continue
 		}
 		children := m.children[:0]

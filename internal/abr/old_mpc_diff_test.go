@@ -77,7 +77,12 @@ func TestNewMPCMatchesOldDFS(t *testing.T) {
 		}
 		rebuf := v.Top()
 		smooth := 1.0
-		want := oldSelect(v, ctx, m.Horizon, pred, rebuf, smooth)
+		// Mirror Select's horizon clamp to the chunks remaining.
+		h := m.Horizon
+		if left := v.NumChunks - ctx.ChunkIndex; h > left {
+			h = left
+		}
+		want := oldSelect(v, ctx, h, pred, rebuf, smooth)
 		got := m.Select(ctx)
 		if got != want {
 			mismatches++

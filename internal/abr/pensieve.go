@@ -262,6 +262,17 @@ type captureAlgo struct {
 	actions []int
 }
 
+// Clone implements Cloner: the clone records into its own empty buffers
+// and teaches from its own copy of the teacher, so per-goroutine capture
+// never interleaves two sessions' states.
+func (c *captureAlgo) Clone() Algorithm {
+	inner := c.inner
+	if cl, ok := inner.(Cloner); ok {
+		inner = cl.Clone()
+	}
+	return &captureAlgo{inner: inner}
+}
+
 func (c *captureAlgo) Name() string { return c.inner.Name() }
 func (c *captureAlgo) Reset()       { c.inner.Reset() }
 func (c *captureAlgo) Select(ctx *Context) int {
@@ -276,6 +287,12 @@ type recordingAlgo struct {
 	inner   *Pensieve
 	states  [][]float64
 	actions []int
+}
+
+// Clone implements Cloner: fresh recording buffers, cloned policy head.
+func (r *recordingAlgo) Clone() Algorithm {
+	inner, _ := r.inner.Clone().(*Pensieve)
+	return &recordingAlgo{inner: inner}
 }
 
 func (r *recordingAlgo) Name() string { return r.inner.Name() }

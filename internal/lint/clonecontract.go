@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CloneContractCheck enforces the engines-never-shared invariant from the
+// parallel ABR evaluator in two layers:
+//
+//  1. every named type satisfying abr.Algorithm must also satisfy
+//     abr.Cloner, or parallel evaluation would fall back to sharing one
+//     mutable engine across goroutines;
+//  2. Clone implementations must not shallow-copy mutable slice/map
+//     fields: a whole-struct copy (c := *x) must reassign every slice/map
+//     field afterwards, and a composite-literal clone must not alias the
+//     receiver's slice/map fields directly.
+func CloneContractCheck() *Check {
+	c := &Check{
+		Name: "clonecontract",
+		Doc:  "abr.Algorithm implementations must implement abr.Cloner, and Clone must not share mutable slice/map state",
+	}
+	c.Run = func(pass *Pass) {
+		alg, cloner := findContractIfaces(pass.Pkg)
+		if alg == nil || cloner == nil {
+			return
+		}
+		scope := pass.Pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Interface); ok {
+				continue
+			}
+			if !implementsEither(named, alg) {
+				continue
+			}
+			if !implementsEither(named, cloner) {
+				pass.Reportf(tn.Pos(),
+					"%s implements %s.Algorithm but not %s.Cloner; without Clone, parallel evaluation would share one mutable engine across goroutines",
+					name, alg.Obj().Pkg().Name(), cloner.Obj().Pkg().Name())
+			}
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "Clone" || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				checkCloneBody(pass, fd)
+			}
+		}
+	}
+	return c
+}
+
+// findContractIfaces locates the Algorithm and Cloner interfaces, either
+// declared in the package under analysis or in one of its imports (the
+// real tree's fivegsim/internal/abr).
+func findContractIfaces(pkg *Package) (alg, cloner *types.Named) {
+	candidates := append([]*types.Package{pkg.Types}, pkg.Types.Imports()...)
+	for _, p := range candidates {
+		a := namedInterface(p, "Algorithm")
+		c := namedInterface(p, "Cloner")
+		if a != nil && c != nil {
+			return a, c
+		}
+	}
+	return nil, nil
+}
+
+// namedInterface looks up an exported interface type by name.
+func namedInterface(p *types.Package, name string) *types.Named {
+	tn, ok := p.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Interface); !ok {
+		return nil
+	}
+	return named
+}
+
+// implementsEither reports whether T or *T satisfies the interface.
+func implementsEither(t types.Type, iface *types.Named) bool {
+	i := iface.Underlying().(*types.Interface)
+	return types.Implements(t, i) || types.Implements(types.NewPointer(t), i)
+}
+
+// checkCloneBody flags shallow copies of mutable slice/map fields inside a
+// Clone method.
+func checkCloneBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	if len(fd.Recv.List) != 1 {
+		return
+	}
+	var recvObj types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 {
+		recvObj = info.Defs[names[0]]
+	}
+	if recvObj == nil {
+		return
+	}
+	st, ok := structOf(recvObj.Type())
+	if !ok {
+		return
+	}
+	mutable := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Type().Underlying().(type) {
+		case *types.Slice, *types.Map:
+			mutable[st.Field(i).Name()] = true
+		}
+	}
+	if len(mutable) == 0 {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Whole-struct copy: c := *recv (or c = *recv).
+			for i, rhs := range n.Rhs {
+				star, ok := ast.Unparen(rhs).(*ast.StarExpr)
+				if !ok || !isObj(info, star.X, recvObj) || i >= len(n.Lhs) {
+					continue
+				}
+				copyIdent, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if missing := unresetFields(info, fd.Body, n, copyIdent, mutable); len(missing) > 0 {
+					pass.Reportf(n.Pos(),
+						"Clone copies the whole struct but leaves slice/map field(s) %s shared with the original; deep-copy or reset them (clones must own all mutable state)",
+						strings.Join(missing, ", "))
+				}
+			}
+		case *ast.CompositeLit:
+			// Fresh-literal clone: flag fields aliasing recv's slices/maps.
+			if litSt, ok := structOf(info.TypeOf(n)); !ok || litSt != st {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !mutable[key.Name] {
+					continue
+				}
+				sel, ok := ast.Unparen(kv.Value).(*ast.SelectorExpr)
+				if ok && isObj(info, sel.X, recvObj) {
+					pass.Reportf(kv.Pos(),
+						"Clone aliases mutable field %s of the receiver; the clone and the original would share backing storage", key.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// unresetFields returns the mutable fields of copyIdent never reassigned
+// after the whole-struct copy stmt, sorted for stable diagnostics.
+func unresetFields(info *types.Info, body *ast.BlockStmt, copyStmt ast.Stmt, copyIdent *ast.Ident, mutable map[string]bool) []string {
+	copyObj := info.Defs[copyIdent]
+	if copyObj == nil {
+		copyObj = info.Uses[copyIdent]
+	}
+	reset := make(map[string]bool)
+	seen := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if st, ok := n.(ast.Stmt); ok && st == copyStmt {
+			seen = true
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || !seen {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || !isObj(info, sel.X, copyObj) {
+				continue
+			}
+			reset[sel.Sel.Name] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(mutable))
+	for name := range mutable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var missing []string
+	for _, name := range names {
+		if !reset[name] {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
+// structOf unwraps pointers/named types down to a struct.
+func structOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// isObj reports whether expr is an identifier resolving to obj.
+func isObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && obj != nil && info.Uses[id] == obj
+}

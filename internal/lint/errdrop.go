@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropCheck flags statement-position calls that silently drop an error
+// returned by one of the module's own internal/ APIs (e.g. stats.Bin).
+// Stdlib error drops are left to go vet's judgement; the module's internal
+// errors exist precisely because the experiments must fail loudly rather
+// than render a figure from half-valid data. An intentional drop is
+// written as an explicit `_ =` assignment, which this check accepts.
+func ErrDropCheck() *Check {
+	c := &Check{
+		Name: "errdrop",
+		Doc:  "forbid silently dropped error returns from the module's internal/ APIs",
+	}
+	c.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		errType := types.Universe.Lookup("error").Type()
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || !internalPath(fn.Pkg().Path()) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				res := sig.Results()
+				if res.Len() == 0 {
+					return true
+				}
+				if !types.Identical(res.At(res.Len()-1).Type(), errType) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s returns an error that is silently dropped; handle it or discard it explicitly with `_ =`",
+					fn.Pkg().Name(), fn.Name())
+				return true
+			})
+		}
+	}
+	return c
+}
+
+// calleeFunc resolves the *types.Func a call statically dispatches to,
+// or nil for builtins, conversions, and dynamic function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,186 @@
+// Package lint is fgvet's analyzer suite: a stdlib-only (go/ast, go/parser,
+// go/token, go/types — no x/tools) set of checks that mechanically enforce
+// the repo's determinism invariants. The paper's figures are reproducible
+// only because every run is a pure function of (experiment, seed); these
+// checks turn the conventions that guarantee that — engine-clock time,
+// seed-threaded RNGs, sorted map iteration, clone-per-goroutine ABR
+// engines, no silently dropped errors — into compile-time diagnostics.
+//
+// A finding can be suppressed line-by-line with
+//
+//	//fgvet:allow <check> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory: an unexplained suppression is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned relative to the module root.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the conventional file:line:col: check: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is a single named analyzer.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (package, check) execution and collects its findings.
+type Pass struct {
+	Pkg   *Package
+	check *Check
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the current check at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// AllChecks returns the full suite in stable order.
+func AllChecks() []*Check {
+	return []*Check{
+		WalltimeCheck(),
+		SeededRandCheck(),
+		MapOrderCheck(),
+		CloneContractCheck(),
+		ErrDropCheck(),
+	}
+}
+
+// Run applies checks to pkgs, drops findings suppressed by a valid
+// //fgvet:allow directive, appends directive-misuse diagnostics, and
+// returns everything sorted by position then check name.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	known := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		known[c.Name] = true
+	}
+	var diags []Diagnostic
+	var directiveDiags []Diagnostic
+	allows := make(map[allowKey]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			pass := &Pass{Pkg: pkg, check: c, diags: &diags}
+			c.Run(pass)
+		}
+		collectAllows(pkg, known, allows, &directiveDiags)
+	}
+	kept := directiveDiags
+	for _, d := range diags {
+		if suppressed(allows, d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return kept
+}
+
+// allowKey identifies one source line that carries an allow directive.
+type allowKey struct {
+	file string
+	line int
+}
+
+const allowPrefix = "//fgvet:allow"
+
+// collectAllows scans a package's comments for //fgvet:allow directives,
+// recording valid ones in allows and reporting malformed ones (unknown
+// check, missing reason) as diagnostics under the "allow" pseudo-check.
+func collectAllows(pkg *Package, known map[string]bool, allows map[allowKey]map[string]bool, diags *[]Diagnostic) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				switch {
+				case name == "":
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: "allow",
+						Message: "malformed directive: want //fgvet:allow <check> <reason>"})
+				case !known[name]:
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: "allow",
+						Message: fmt.Sprintf("unknown check %q in //fgvet:allow directive", name)})
+				case strings.TrimSpace(reason) == "":
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: "allow",
+						Message: fmt.Sprintf("//fgvet:allow %s needs a reason: suppressions must be explained", name)})
+				default:
+					k := allowKey{file: pos.Filename, line: pos.Line}
+					if allows[k] == nil {
+						allows[k] = make(map[string]bool)
+					}
+					allows[k][name] = true
+				}
+			}
+		}
+	}
+}
+
+// suppressed reports whether d is covered by an allow directive on its own
+// line or the line directly above.
+func suppressed(allows map[allowKey]map[string]bool, d Diagnostic) bool {
+	if allows[allowKey{d.Pos.Filename, d.Pos.Line}][d.Check] {
+		return true
+	}
+	return allows[allowKey{d.Pos.Filename, d.Pos.Line - 1}][d.Check]
+}
+
+// inspectStack walks root depth-first calling fn with each node and the
+// stack of its ancestors (outermost first, not including n itself). fn's
+// return value controls descent, as with ast.Inspect.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// internalPath reports whether a package import path sits under the
+// module's internal/ tree (the simulation-facing code).
+func internalPath(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal")
+}

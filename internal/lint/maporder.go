@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrderCheck flags `range` over a map: Go randomizes map iteration
+// order per run, which would silently break the serial-vs-parallel
+// byte-identical battery contract anywhere the iteration feeds rendered
+// tables, figure data, or even float accumulation (summation order changes
+// the rounding). The one accepted shape is the key harvest — a loop whose
+// body only appends the keys to a slice — provided the slice is passed to
+// sort/slices later in the same block.
+func MapOrderCheck() *Check {
+	c := &Check{
+		Name: "maporder",
+		Doc:  "forbid range over maps unless the keys are extracted and sorted before use",
+	}
+	c.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				target, ok := harvestTarget(info, rs)
+				if !ok {
+					pass.Reportf(rs.Pos(),
+						"map iteration order is randomized per run; extract the keys, sort them, and range over the sorted slice")
+					return true
+				}
+				if !sortedAfter(info, stack, rs, target) {
+					pass.Reportf(rs.Pos(),
+						"map keys are harvested into %s but never sorted in this block; sort before iterating", target)
+				}
+				return true
+			})
+		}
+	}
+	return c
+}
+
+// harvestTarget matches the key-harvest idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// and returns the rendered name of the slice the keys land in.
+func harvestTarget(info *types.Info, rs *ast.RangeStmt) (string, bool) {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return "", false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return "", false
+		}
+	}
+	if len(rs.Body.List) != 1 {
+		return "", false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return "", false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" || info.Uses[fn] != types.Universe.Lookup("append") {
+		return "", false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || info.Uses[arg] != info.Defs[key] {
+		return "", false
+	}
+	target := exprString(asg.Lhs[0])
+	if target == "" || target != exprString(call.Args[0]) {
+		return "", false
+	}
+	return target, true
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// block contains a sort/slices call mentioning target.
+func sortedAfter(info *types.Info, stack []ast.Node, rs *ast.RangeStmt, target string) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	block, ok := stack[len(stack)-1].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	idx := -1
+	for i, st := range block.List {
+		if st == ast.Stmt(rs) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, st := range block.List[idx+1:] {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if strings.Contains(exprString(arg), target) {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders simple expressions (identifiers and selector chains)
+// for comparison; anything more complex yields "".
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// randPkgs are the package paths whose global state the check guards.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors are the only package-level math/rand functions a
+// deterministic codebase may call: they build a private, seedable source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// seededSources are the constructors whose arguments must be seed-derived.
+var seededSources = map[string]bool{
+	"NewSource": true,
+	"NewPCG":    true,
+}
+
+// SeededRandCheck enforces the seed-threading contract: no draws from the
+// process-global math/rand source (its sequence depends on what every other
+// goroutine consumed), and every rand.NewSource argument must be a constant
+// or derived from a threaded seed — never e.g. time.Now().UnixNano().
+func SeededRandCheck() *Check {
+	c := &Check{
+		Name: "seededrand",
+		Doc:  "forbid global math/rand functions and non-seed-derived rand.NewSource arguments",
+	}
+	c.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					obj, ok := info.Uses[n.Sel].(*types.Func)
+					if !ok || obj.Pkg() == nil || !randPkgs[obj.Pkg().Path()] {
+						return true
+					}
+					if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+						return true // *rand.Rand method: fine, the source is owned
+					}
+					if !randConstructors[obj.Name()] {
+						pass.Reportf(n.Pos(),
+							"global rand.%s draws from the shared process-wide source; build rand.New(rand.NewSource(seed)) from a threaded seed",
+							obj.Name())
+					}
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj, ok := info.Uses[sel.Sel].(*types.Func)
+					if !ok || obj.Pkg() == nil || !randPkgs[obj.Pkg().Path()] || !seededSources[obj.Name()] {
+						return true
+					}
+					for _, arg := range n.Args {
+						if !seedDerived(info, arg) {
+							pass.Reportf(arg.Pos(),
+								"rand.%s argument is not a constant or a threaded seed; nondeterministic seeding breaks run-to-run reproducibility",
+								obj.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return c
+}
+
+// seedDerived reports whether expr is an acceptable source seed: a
+// compile-time constant, or an expression that mentions a seed-named
+// identifier and performs no calls other than type conversions.
+func seedDerived(info *types.Info, expr ast.Expr) bool {
+	if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+		return true
+	}
+	hasSeed := false
+	impure := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; !ok || !tv.IsType() {
+				impure = true // a real call: its result is not seed-threaded
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "seed") {
+				hasSeed = true
+			}
+		}
+		return true
+	})
+	return hasSeed && !impure
+}

@@ -1,0 +1,21 @@
+// Package abr mirrors the real repo's abr contract surface: the Algorithm
+// interface every ABR engine satisfies and the Cloner interface the
+// parallel evaluator requires so engines are never shared.
+package abr
+
+// Context is the per-chunk decision input.
+type Context struct {
+	BufferS float64
+}
+
+// Algorithm chooses the next chunk's track.
+type Algorithm interface {
+	Name() string
+	Select(ctx *Context) int
+	Reset()
+}
+
+// Cloner replicates an algorithm for concurrent evaluation.
+type Cloner interface {
+	Clone() Algorithm
+}

@@ -1,0 +1,98 @@
+// Package algos is a clonecontract fixture: Algorithm implementations
+// with and without the Cloner contract, and Clone bodies that do and do
+// not share mutable state.
+package algos
+
+import "fixture/internal/abr"
+
+// NoClone implements Algorithm but cannot be replicated per goroutine.
+type NoClone struct { // want: clonecontract
+	last int
+}
+
+func (n *NoClone) Name() string                { return "noclone" }
+func (n *NoClone) Select(ctx *abr.Context) int { n.last++; return n.last }
+func (n *NoClone) Reset()                      { n.last = 0 }
+
+// ShallowCopy clones by whole-struct copy but keeps sharing hist.
+type ShallowCopy struct {
+	window int
+	hist   []float64
+}
+
+func (s *ShallowCopy) Name() string                { return "shallow" }
+func (s *ShallowCopy) Select(ctx *abr.Context) int { s.hist = append(s.hist, ctx.BufferS); return 0 }
+func (s *ShallowCopy) Reset()                      { s.hist = s.hist[:0] }
+
+// Clone shares the hist backing array between clone and original.
+func (s *ShallowCopy) Clone() abr.Algorithm {
+	c := *s // want: clonecontract
+	return &c
+}
+
+// ResetCopy does the same copy but gives the clone its own state.
+type ResetCopy struct {
+	window int
+	hist   []float64
+	seen   map[int]bool
+}
+
+func (r *ResetCopy) Name() string                { return "reset" }
+func (r *ResetCopy) Select(ctx *abr.Context) int { return 0 }
+func (r *ResetCopy) Reset()                      {}
+
+// Clone resets every mutable field after the copy: accepted.
+func (r *ResetCopy) Clone() abr.Algorithm {
+	c := *r
+	c.hist = nil
+	c.seen = make(map[int]bool)
+	return &c
+}
+
+// LitAlias builds a fresh literal but aliases the receiver's slice.
+type LitAlias struct {
+	gain float64
+	hist []float64
+}
+
+func (l *LitAlias) Name() string                { return "litalias" }
+func (l *LitAlias) Select(ctx *abr.Context) int { return 0 }
+func (l *LitAlias) Reset()                      {}
+
+// Clone hands the clone the original's backing array.
+func (l *LitAlias) Clone() abr.Algorithm {
+	return &LitAlias{
+		gain: l.gain,
+		hist: l.hist, // want: clonecontract
+	}
+}
+
+// LitFresh copies only immutable configuration: accepted.
+type LitFresh struct {
+	gain float64
+	hist []float64
+}
+
+func (l *LitFresh) Name() string                { return "litfresh" }
+func (l *LitFresh) Select(ctx *abr.Context) int { return 0 }
+func (l *LitFresh) Reset()                      {}
+
+// Clone leaves hist at its zero value: the clone owns fresh state.
+func (l *LitFresh) Clone() abr.Algorithm {
+	return &LitFresh{gain: l.gain}
+}
+
+// Scalar has no mutable slice/map fields at all: plain copy is fine.
+type Scalar struct {
+	reservoir float64
+}
+
+func (s *Scalar) Name() string                { return "scalar" }
+func (s *Scalar) Select(ctx *abr.Context) int { return 0 }
+func (s *Scalar) Reset()                      {}
+
+// Clone by value copy: nothing mutable to share.
+func (s *Scalar) Clone() abr.Algorithm {
+	c := *s
+	return &c
+}

@@ -1,0 +1,30 @@
+// Package exp is an errdrop fixture: internal-API error returns dropped
+// silently, discarded explicitly, and handled.
+package exp
+
+import (
+	"fmt"
+
+	"fixture/internal/stats"
+)
+
+// local is an in-package internal API with an error result.
+func local() error { return nil }
+
+// Bad drops internal errors on the floor.
+func Bad(xs []float64) {
+	stats.Bin(xs, 4) // want: errdrop
+	local()          // want: errdrop
+}
+
+// Good handles, explicitly discards, or calls error-free APIs.
+func Good(xs []float64) float64 {
+	bins, err := stats.Bin(xs, 4)
+	if err != nil {
+		return 0
+	}
+	_, _ = stats.Bin(xs, 2) // explicit discard: accepted
+	_ = local()             // explicit discard: accepted
+	fmt.Println(len(bins))  // stdlib: not errdrop's scope
+	return stats.Mean(bins) // no error result
+}

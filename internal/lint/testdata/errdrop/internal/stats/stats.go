@@ -1,0 +1,26 @@
+// Package stats is the errdrop fixture's internal API surface.
+package stats
+
+import "errors"
+
+// Bin buckets xs; it errors on degenerate geometry, like the real
+// stats.Bin.
+func Bin(xs []float64, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: no buckets")
+	}
+	return make([]float64, n), nil
+}
+
+// Mean has no error result; dropping its value is vet's business, not
+// errdrop's.
+func Mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

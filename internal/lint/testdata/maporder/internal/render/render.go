@@ -1,0 +1,58 @@
+// Package render is a maporder fixture: map iteration feeding rendered
+// output, in the forbidden, harvested-but-unsorted, and accepted shapes.
+package render
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Direct ranges straight over a map: the rendered order changes per run.
+func Direct(cells map[string]float64) string {
+	out := ""
+	for k, v := range cells { // want: maporder
+		out += fmt.Sprintf("%s=%g\n", k, v)
+	}
+	return out
+}
+
+// ValuesOnly is just as nondeterministic (float accumulation order).
+func ValuesOnly(cells map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range cells { // want: maporder
+		sum += v
+	}
+	return sum
+}
+
+// HarvestedUnsorted extracts the keys but forgets to sort them.
+func HarvestedUnsorted(cells map[string]float64) []string {
+	var keys []string
+	for k := range cells { // want: maporder (never sorted)
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorted is the accepted idiom: harvest, sort, then iterate.
+func Sorted(cells map[string]float64) string {
+	var keys []string
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%g\n", k, cells[k])
+	}
+	return out
+}
+
+// SliceRange is not a map range at all.
+func SliceRange(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+// Package gen is a seededrand fixture: global-source draws and
+// nondeterministic seeding next to the accepted seed-threaded idioms.
+package gen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config threads a seed through the experiment.
+type Config struct{ Seed int64 }
+
+// BadGlobals draws from the process-wide shared source.
+func BadGlobals() float64 {
+	n := rand.Intn(10)                 // want: seededrand
+	rand.Shuffle(n, func(i, j int) {}) // want: seededrand
+	return rand.Float64()              // want: seededrand
+}
+
+// BadSeeding constructs sources from non-seed-derived values.
+func BadSeeding(x int64) *rand.Rand {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want: seededrand (the argument)
+	return rand.New(rand.NewSource(x))                  // want: seededrand (x is not a seed)
+}
+
+// Good builds private, seed-threaded sources.
+func Good(cfg Config, i int) []float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31))
+	sub := rand.New(rand.NewSource(42))
+	out := make([]float64, 4)
+	for k := range out {
+		out[k] = rng.Float64() * sub.Float64() // methods on *rand.Rand: fine
+	}
+	return out
+}

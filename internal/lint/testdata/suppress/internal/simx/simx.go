@@ -1,0 +1,40 @@
+// Package simx exercises the //fgvet:allow directive machinery: valid
+// same-line and line-above suppressions, plus every malformed shape.
+package simx
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SameLine is suppressed by a directive on the flagged line.
+func SameLine() time.Time {
+	return time.Now() //fgvet:allow walltime wall-stat demo, not sim time
+}
+
+// LineAbove is suppressed by a directive on the line above.
+func LineAbove() int {
+	//fgvet:allow seededrand demo of an accepted legacy draw
+	return rand.Intn(3)
+}
+
+// Unsuppressed has no directive and must be reported.
+func Unsuppressed() time.Time {
+	return time.Now() // want: walltime
+}
+
+// MissingReason explains nothing, so the directive itself is reported and
+// the finding stays.
+func MissingReason() time.Time {
+	return time.Now() //fgvet:allow walltime
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck() time.Time {
+	return time.Now() //fgvet:allow wibble because reasons
+}
+
+// WrongCheck suppresses a different check than the finding.
+func WrongCheck() time.Time {
+	return time.Now() //fgvet:allow maporder suppressing the wrong check
+}

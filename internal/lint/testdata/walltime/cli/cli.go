@@ -1,0 +1,8 @@
+// Package cli sits outside internal/: wall-clock reads are fine in
+// command-line frontends (progress reporting, wall timings).
+package cli
+
+import "time"
+
+// Stamp is allowed: this package is not simulation-facing.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,39 @@
+// Package enginepkg is a walltime fixture: simulation-facing code that
+// reads the wall clock in every forbidden way, plus the allowed shapes.
+package enginepkg
+
+import "time"
+
+// Clock is a fake engine clock; sim code should read this instead.
+type Clock struct{ now float64 }
+
+// NowS returns simulated seconds.
+func (c *Clock) NowS() float64 { return c.now }
+
+// Bad reads and schedules against the wall clock.
+func Bad() time.Duration {
+	start := time.Now()              // want: walltime
+	time.Sleep(time.Millisecond)     // want: walltime
+	tick := time.NewTicker(1)        // want: walltime
+	tick.Stop()                      // method on Ticker: fine
+	_ = time.After(time.Second)      // want: walltime
+	elapsed := time.Since(start)     // want: walltime
+	_ = time.Until(start)            // want: walltime
+	_ = time.NewTimer(1)             // want: walltime
+	_ = time.AfterFunc(1, func() {}) // want: walltime
+	return elapsed
+}
+
+// Allowed uses only wall-clock-free parts of package time.
+func Allowed(c *Clock) float64 {
+	d := 3 * time.Second
+	_ = d.Seconds() // method on Duration: fine
+	var t time.Time
+	_ = t.Unix() // method on Time: fine
+	return c.NowS()
+}
+
+// Annotated carries a justified suppression and stays quiet.
+func Annotated() time.Time {
+	return time.Now() //fgvet:allow walltime fixture demonstrates a justified wall-clock read
+}

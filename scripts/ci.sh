@@ -5,10 +5,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted="$(gofmt -l .)"
+echo "== gofmt -s =="
+unformatted="$(gofmt -l -s .)"
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
@@ -16,11 +16,19 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== fgvet (determinism invariants) =="
+# The custom analyzer suite (internal/lint): engine-clock time only,
+# seed-threaded RNGs, sorted map iteration, clone-per-goroutine ABR
+# engines, no silently dropped internal errors. Any diagnostic fails CI.
+go run ./cmd/fgvet ./...
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+# -shuffle=on catches inter-test state leakage (e.g. shared trace-cache
+# contamination); -count=1 defeats the test cache so the shuffle is real.
+go test -race -shuffle=on -count=1 ./...
 
 echo "== battery determinism (serial vs parallel) =="
 # The whole-campaign contract: rendered tables are byte-identical for any
