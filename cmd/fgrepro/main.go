@@ -10,14 +10,18 @@
 //
 // Flags:
 //
-//	-seed N       random seed (default 1)
-//	-quick        reduced repeats for a fast pass
-//	-parallel N   run N experiments concurrently (0 = GOMAXPROCS, 1 = serial)
-//	-stats        per-experiment wall time and event counts on stderr
+//	-seed N        random seed (default 1)
+//	-quick         reduced repeats for a fast pass
+//	-parallel N    run N experiments concurrently (0 = GOMAXPROCS, 1 = serial)
+//	-stats         per-experiment wall time and event counts on stderr
+//	-trace FILE    write sim-time trace records (JSON Lines) to FILE
+//	-metrics FILE  write the metrics snapshot (CSV) to FILE
 //
 // Output is byte-identical for any -parallel value: experiments fan out
 // over a worker pool but are reassembled in sorted id order, and every
-// experiment is deterministic given -seed.
+// experiment is deterministic given -seed. The -trace/-metrics artifacts
+// share that contract — enabling them never changes the tables, and the
+// artifact bytes are identical for any worker count.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"fivegsim/internal/experiments"
+	"fivegsim/internal/obs"
 )
 
 func main() {
@@ -35,9 +40,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced repeats for a fast pass")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-experiment wall time and event counts to stderr")
+	traceOut := flag.String("trace", "", "write sim-time trace records (JSON Lines) to this file")
+	metricsOut := flag.String("metrics", "", "write the metrics snapshot (CSV) to this file")
 	flag.Usage = usage
 	flag.Parse()
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -50,7 +56,12 @@ func main() {
 	if err := flag.CommandLine.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}
-	cfg = experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *traceOut != "" || *metricsOut != "" {
+		// A non-nil collector tells RunMany to hand every experiment its
+		// own registry; the instrumented subsystems then record into it.
+		cfg.Obs = obs.New()
+	}
 	rest := flag.Args()
 	switch args[0] {
 	case "list":
@@ -58,13 +69,13 @@ func main() {
 			fmt.Println(id)
 		}
 	case "all":
-		runBattery(cfg, experiments.IDs(), *parallel, *stats)
+		runBattery(cfg, experiments.IDs(), *parallel, *stats, *traceOut, *metricsOut)
 	case "run":
 		if len(rest) == 0 {
 			fmt.Fprintln(os.Stderr, "fgrepro run: need at least one experiment id")
 			os.Exit(2)
 		}
-		runBattery(cfg, rest, *parallel, *stats)
+		runBattery(cfg, rest, *parallel, *stats, *traceOut, *metricsOut)
 	default:
 		usage()
 		os.Exit(2)
@@ -72,8 +83,9 @@ func main() {
 }
 
 // runBattery executes ids over the worker pool and prints the tables in
-// input order, optionally followed by a per-experiment campaign summary.
-func runBattery(cfg experiments.Config, ids []string, workers int, stats bool) {
+// input order, optionally followed by a per-experiment campaign summary and
+// the trace/metrics artifacts.
+func runBattery(cfg experiments.Config, ids []string, workers int, stats bool, traceOut, metricsOut string) {
 	results, err := experiments.RunMany(cfg, ids, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fgrepro:", err)
@@ -84,6 +96,16 @@ func runBattery(cfg experiments.Config, ids []string, workers int, stats bool) {
 			fmt.Println(t)
 		}
 	}
+	if traceOut != "" {
+		writeArtifact(traceOut, func(f *os.File) error {
+			return experiments.WriteTrace(f, results)
+		})
+	}
+	if metricsOut != "" {
+		writeArtifact(metricsOut, func(f *os.File) error {
+			return experiments.WriteMetrics(f, results)
+		})
+	}
 	if stats {
 		w := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
 		fmt.Fprintln(w, "experiment\twall\tevents")
@@ -93,7 +115,29 @@ func runBattery(cfg experiments.Config, ids []string, workers int, stats bool) {
 			fmt.Fprintf(w, "%s\t%v\t%d\n", r.ID, r.Wall.Round(10*time.Microsecond), r.Events)
 		}
 		fmt.Fprintf(w, "total\t\t%d\n", events)
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "fgrepro:", err)
+		}
+	}
+}
+
+// writeArtifact creates path and streams one artifact into it, failing the
+// run on any write error (a truncated artifact must never look like a
+// successful one).
+func writeArtifact(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgrepro:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "fgrepro: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "fgrepro: closing %s: %v\n", path, err)
+		os.Exit(1)
 	}
 }
 
@@ -106,9 +150,11 @@ usage:
   fgrepro [flags] all
 
 flags:
-  -seed N       random seed (default 1)
-  -quick        reduced repeats for a fast pass
-  -parallel N   experiments to run concurrently (0 = GOMAXPROCS, 1 = serial)
-  -stats        per-experiment wall time and event counts on stderr
+  -seed N        random seed (default 1)
+  -quick         reduced repeats for a fast pass
+  -parallel N    experiments to run concurrently (0 = GOMAXPROCS, 1 = serial)
+  -stats         per-experiment wall time and event counts on stderr
+  -trace FILE    write sim-time trace records (JSON Lines) to FILE
+  -metrics FILE  write the metrics snapshot (CSV) to FILE
 `)
 }

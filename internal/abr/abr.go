@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"fivegsim/internal/obs"
 )
 
 // Video describes an encoded video: equal-length chunks, a bitrate ladder
@@ -119,6 +121,10 @@ type Options struct {
 	RebufPenalty float64
 	// SmoothPenalty weighs bitrate switches; 0 means 1.
 	SmoothPenalty float64
+	// Obs, when enabled, collects one decision record per chunk plus
+	// session counters. nil (the default) keeps the playback loop
+	// allocation-free.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults(v Video) Options {
@@ -296,6 +302,7 @@ func SimulateScratch(v Video, algo Algorithm, tr []float64, opt Options, sc *Scr
 	algo.Reset()
 	res := Result{Algorithm: algo.Name()}
 	ctx := sc.start(v, tr)
+	obsOn := opt.Obs.Enabled()
 	t := 0.0
 	buffer := 0.0
 	last := 0
@@ -305,6 +312,7 @@ func SimulateScratch(v Video, algo Algorithm, tr []float64, opt Options, sc *Scr
 		ctx.LastQuality = last
 		sc.bufferAt = append(sc.bufferAt, buffer)
 		sc.oracleT = t
+		selT := t // request time, for the chunk's span record
 		q := algo.Select(ctx)
 		if q < 0 {
 			q = 0
@@ -322,6 +330,9 @@ func SimulateScratch(v Video, algo Algorithm, tr []float64, opt Options, sc *Scr
 				deadline := t + buffer*0.9 // the player aborts just before starvation
 				res.WastedMb += downloadUntil(tr, t, deadline, &sc.usage)
 				res.Abandons++
+				if obsOn {
+					opt.Obs.Meter().Inc("abr.abandons")
+				}
 				q = 0
 				size = v.ChunkMb(q)
 				buffer -= deadline - t
@@ -339,6 +350,9 @@ func SimulateScratch(v Video, algo Algorithm, tr []float64, opt Options, sc *Scr
 		} else {
 			if dl > buffer {
 				res.StallS += dl - buffer
+				if obsOn {
+					opt.Obs.Meter().Add("abr.stall_s", dl-buffer)
+				}
 				buffer = 0
 			} else {
 				buffer -= dl
@@ -353,6 +367,14 @@ func SimulateScratch(v Video, algo Algorithm, tr []float64, opt Options, sc *Scr
 			buffer = opt.MaxBufferS
 		}
 
+		if obsOn {
+			opt.Obs.Meter().Inc("abr.chunks")
+			opt.Obs.Trace().Emit(obs.Span(selT, dl, "abr", "chunk").
+				With(obs.F("idx", float64(i))).
+				With(obs.F("quality", float64(q))).
+				With(obs.F("buffer_s", ctx.BufferS)).
+				With(obs.F("download_s", dl)))
+		}
 		ctx.PastChunkMbps = append(ctx.PastChunkMbps, size/dl)
 		ctx.PastChunkTimeS = append(ctx.PastChunkTimeS, dl)
 		sc.qualities = append(sc.qualities, q)
@@ -437,10 +459,29 @@ func EvaluateWorkers(v Video, algo Algorithm, traces [][]float64, opt Options, w
 	}
 	cl, cloneable := algo.(Cloner)
 	per := make([]traceStats, len(traces))
+	// When collection is on, every trace gets its own sub-collector — in the
+	// serial path too — and the subs fold back in trace order. Emitting
+	// straight into opt.Obs from the serial loop would accumulate histogram
+	// sums in per-observation order while the parallel path merges per-trace
+	// partial sums, and the two float summation orders need not agree.
+	var perObs []*obs.Obs
+	if opt.Obs.Enabled() {
+		perObs = make([]*obs.Obs, len(traces))
+		for i := range perObs {
+			perObs[i] = obs.Sub(opt.Obs)
+		}
+	}
+	optFor := func(i int) Options {
+		o := opt
+		if perObs != nil {
+			o.Obs = perObs[i]
+		}
+		return o
+	}
 	if workers <= 1 || !cloneable {
 		sc := &Scratch{}
 		for i, tr := range traces {
-			per[i] = oneTrace(v, algo, tr, opt, sc)
+			per[i] = oneTrace(v, algo, tr, optFor(i), sc)
 		}
 	} else {
 		var next atomic.Int64
@@ -456,11 +497,14 @@ func EvaluateWorkers(v Video, algo Algorithm, traces [][]float64, opt Options, w
 					if i >= len(traces) {
 						return
 					}
-					per[i] = oneTrace(v, a, traces[i], opt, sc)
+					per[i] = oneTrace(v, a, traces[i], optFor(i), sc)
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	for i, po := range perObs {
+		opt.Obs.MergeTagged(po, obs.F("trace", float64(i)))
 	}
 	for _, s := range per {
 		agg.NormBitrate += s.norm

@@ -1,0 +1,82 @@
+package abr
+
+import (
+	"bytes"
+	"testing"
+
+	"fivegsim/internal/obs"
+	"fivegsim/internal/trace"
+)
+
+// artifacts renders a collector into the exact bytes the CLI would emit.
+func artifacts(t *testing.T, o *obs.Obs) (traceJSON, metricsCSV string) {
+	t.Helper()
+	var tj, mc bytes.Buffer
+	if err := obs.WriteTraceJSON(&tj, "fig17", o.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteMetricsCSV(&mc, "fig17", o.Meter()); err != nil {
+		t.Fatal(err)
+	}
+	return tj.String(), mc.String()
+}
+
+// TestEvaluateObsByteIdentical is the observability half of the determinism
+// contract: the trace and metrics artifacts from EvaluateWorkers must be
+// byte-identical between a serial pass and any worker count, and enabling
+// collection must not change the Aggregate.
+func TestEvaluateObsByteIdentical(t *testing.T) {
+	v, err := NewVideo(200, 4, 160, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := trace.GenSet5G(9, 260, 33)
+	algo := &MPC{Robust: true}
+
+	base := EvaluateWorkers(v, algo, traces, Options{}, 1)
+
+	run := func(workers int) (Aggregate, string, string) {
+		o := obs.New()
+		agg := EvaluateWorkers(v, algo, traces, Options{Obs: o}, workers)
+		tj, mc := artifacts(t, o)
+		return agg, tj, mc
+	}
+	agg1, tj1, mc1 := run(1)
+	agg5, tj5, mc5 := run(5)
+
+	if agg1 != base {
+		t.Errorf("enabling obs changed the serial Aggregate:\n  off: %+v\n  on:  %+v", base, agg1)
+	}
+	if agg1 != agg5 {
+		t.Errorf("Aggregate differs across worker counts:\n  w1: %+v\n  w5: %+v", agg1, agg5)
+	}
+	if tj1 != tj5 {
+		t.Errorf("trace artifact differs between 1 and 5 workers:\n--- w1 ---\n%s--- w5 ---\n%s", tj1, tj5)
+	}
+	if mc1 != mc5 {
+		t.Errorf("metrics artifact differs between 1 and 5 workers:\n--- w1 ---\n%s--- w5 ---\n%s", mc1, mc5)
+	}
+	if tj1 == "" || mc1 == "" {
+		t.Error("enabled collection produced empty artifacts")
+	}
+}
+
+// TestSimulateObsDisabledAllocFree pins the headline cost contract for the
+// playback loop: with Obs nil the scratch-reusing steady path stays
+// allocation-free even though the obs hooks are compiled in.
+func TestSimulateObsDisabledAllocFree(t *testing.T) {
+	v, err := NewVideo(300, 4, 160, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Gen5GmmWave(11, 400)
+	algo := &MPC{}
+	sc := &Scratch{}
+	SimulateScratch(v, algo, tr, Options{}, sc) // warm the scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		SimulateScratch(v, algo, tr, Options{}, sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady SimulateScratch with nil Obs allocates %v/op, want 0", allocs)
+	}
+}

@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"fivegsim/internal/obs"
+	"fivegsim/internal/stats"
 )
 
 // Config parameterises an experiment run.
@@ -22,6 +25,11 @@ type Config struct {
 	// Quick reduces repeats/sizes for fast test runs; the shapes asserted
 	// by EXPERIMENTS.md hold in both modes.
 	Quick bool
+	// Obs, when enabled, collects sim-time traces and metrics from the
+	// instrumented subsystems an experiment drives. It never changes the
+	// tables: collection is a side channel. RunMany replaces it with a
+	// per-experiment collector so parallel experiments never share one.
+	Obs *obs.Obs
 }
 
 // pick returns quick when cfg.Quick, else full.
@@ -140,6 +148,17 @@ func RunAll(cfg Config) []*Table {
 		out = append(out, registry[id](cfg)...)
 	}
 	return out
+}
+
+// mustFinite guards an aggregation input against NaN: sort.Float64s orders
+// NaNs first, so a single NaN silently shifts every percentile rank. An
+// experiment must fail loudly rather than render a figure from corrupted
+// order statistics. It returns xs for call-site chaining.
+func mustFinite(where string, xs []float64) []float64 {
+	if stats.HasNaN(xs) {
+		panic(fmt.Sprintf("experiments: NaN in %s aggregation input", where))
+	}
+	return xs
 }
 
 // formatting helpers shared by the experiment files.

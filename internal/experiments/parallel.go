@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fivegsim/internal/obs"
 	"fivegsim/internal/sim"
 )
 
@@ -24,6 +25,10 @@ type Result struct {
 	// Events is the number of simulation events the experiment's engines
 	// processed.
 	Events uint64
+	// Obs holds the experiment's trace/metric collector when the run's
+	// Config had one; nil otherwise. Each experiment gets its own, so
+	// artifacts concatenate in id order independent of scheduling.
+	Obs *obs.Obs
 }
 
 // Render returns the experiment's tables concatenated, each rendered
@@ -75,14 +80,23 @@ func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
 					return
 				}
 				i := order[k]
+				// Collection is per experiment: workers must never share a
+				// collector, and a per-experiment registry lets artifacts
+				// concatenate in id order whatever the schedule was.
+				cfgI := cfg
+				if cfg.Obs != nil {
+					cfgI.Obs = obs.New()
+				}
 				start := time.Now() //fgvet:allow walltime worker wall-clock stats for LPT scheduling, never sim time
 				var tables []*Table
-				events := sim.CountEvents(func() { tables = fns[i](cfg) })
+				events := sim.CountEvents(func() { tables = fns[i](cfgI) })
+				cfgI.Obs.Meter().Add("experiment.events", float64(events))
 				results[i] = Result{
 					ID:     ids[i],
 					Tables: tables,
 					Wall:   time.Since(start), //fgvet:allow walltime worker wall-clock stats for LPT scheduling, never sim time
 					Events: events,
+					Obs:    cfgI.Obs,
 				}
 			}
 		}()

@@ -7,6 +7,7 @@ import (
 	"fivegsim/internal/device"
 	"fivegsim/internal/geo"
 	"fivegsim/internal/netpath"
+	"fivegsim/internal/obs"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/speedtest"
 	"fivegsim/internal/stats"
@@ -176,6 +177,8 @@ func Fig8(cfg Config) []*Table {
 		p := netpath.Path{UE: ue, Network: radio.VerizonNSAmmWave,
 			DistanceKm: region.DistanceKm, ServerCapMbps: 10000, ExtraRTTMs: 1}
 		params := p.Params(radio.Downlink)
+		// Transport records for this region fold back under a region tag.
+		sub := obs.Sub(cfg.Obs)
 		mean := func(f func(rng *rand.Rand) transport.Result) float64 {
 			s := 0.0
 			for i := 0; i < repeats; i++ {
@@ -186,17 +189,18 @@ func Fig8(cfg Config) []*Table {
 		udp := transport.SimulateUDP(params, 1e9, 15).MeanMbps
 		t8 := mean(func(rng *rand.Rand) transport.Result {
 			return transport.SimulateTCP(params, transport.TCPOptions{Flows: 8,
-				WmemBytes: transport.TunedWmemBytes}, rng)
+				WmemBytes: transport.TunedWmemBytes, Obs: sub}, rng)
 		})
 		tuned := mean(func(rng *rand.Rand) transport.Result {
 			return transport.SimulateTCP(params, transport.TCPOptions{Flows: 1,
-				WmemBytes: transport.TunedWmemBytes}, rng)
+				WmemBytes: transport.TunedWmemBytes, Obs: sub}, rng)
 		})
 		def := mean(func(rng *rand.Rand) transport.Result {
-			return transport.SimulateTCP(params, transport.TCPOptions{Flows: 1}, rng)
+			return transport.SimulateTCP(params, transport.TCPOptions{Flows: 1, Obs: sub}, rng)
 		})
 		udps = append(udps, udp)
 		tuneds = append(tuneds, tuned)
+		cfg.Obs.MergeTagged(sub, obs.S("region", region.Name))
 		t.AddRow("Azure "+region.Name, f0(region.DistanceKm), f0(udp), f0(t8), f0(tuned), f0(def))
 	}
 	gap := stats.Mean(udps) - stats.Mean(tuneds)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"fivegsim/internal/obs"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/rrc"
 	"fivegsim/internal/rrcprobe"
@@ -145,6 +146,10 @@ func Table2(cfg Config) []*Table {
 		c := rrc.MustConfig(n)
 		eng := sim.NewEngine()
 		m := rrc.NewMachine(eng, c)
+		// Each network gets a sub-collector folded back with a net tag, so
+		// the trace distinguishes the six machines' transitions.
+		sub := obs.Sub(cfg.Obs)
+		m.Obs = sub
 		// Idle for 20 s, then one packet, then observe the tail.
 		eng.RunUntil(20)
 		delay := m.DataActivity()
@@ -154,6 +159,7 @@ func Table2(cfg Config) []*Table {
 		// Sample tail power midway through the tail.
 		eng.RunUntil(eng.Now() + c.TailMs/1000/2)
 		tailPw := m.RadioPowerMw()
+		cfg.Obs.MergeTagged(sub, obs.S("net", n.String()))
 		sw := "N/A"
 		if c.Is5G() {
 			sw = f0(switchPw)

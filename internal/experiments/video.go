@@ -5,6 +5,7 @@ import (
 
 	"fivegsim/internal/abr"
 	"fivegsim/internal/device"
+	"fivegsim/internal/obs"
 	"fivegsim/internal/power"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/trace"
@@ -77,9 +78,17 @@ func Fig17(cfg Config) []*Table {
 		Header: []string{"Algorithm", "5G bitrate", "5G stall%", "4G bitrate", "4G stall%", "stall increase (pp)"}}
 	a5 := algorithms(cfg, v5, train5)
 	a4 := algorithms(cfg, v4, train4)
+	// Per-(algorithm, network) sub-collectors folded back in loop order keep
+	// the chunk records attributable and the artifact deterministic.
+	evalObs := func(v abr.Video, a abr.Algorithm, trs [][]float64, net string) abr.Aggregate {
+		sub := obs.Sub(cfg.Obs)
+		g := abr.Evaluate(v, a, trs, abr.Options{Obs: sub})
+		cfg.Obs.MergeTagged(sub, obs.S("algo", a.Name()), obs.S("net", net))
+		return g
+	}
 	for i := range a5 {
-		g5 := abr.Evaluate(v5, a5[i], tr5, abr.Options{})
-		g4 := abr.Evaluate(v4, a4[i], tr4, abr.Options{})
+		g5 := evalObs(v5, a5[i], tr5, "5G")
+		g4 := evalObs(v4, a4[i], tr4, "4G")
 		t.AddRow(a5[i].Name(), f2(g5.NormBitrate), pct(g5.StallPct),
 			f2(g4.NormBitrate), pct(g4.StallPct), f2(g5.StallPct-g4.StallPct))
 	}
@@ -104,7 +113,9 @@ func Fig18a(cfg Config) []*Table {
 	var qoes []float64
 	var rows []abr.Aggregate
 	for _, p := range preds {
-		g := abr.Evaluate(v, &abr.MPC{Label: "fastMPC/" + p.Name(), Pred: p}, tr5, abr.Options{})
+		sub := obs.Sub(cfg.Obs)
+		g := abr.Evaluate(v, &abr.MPC{Label: "fastMPC/" + p.Name(), Pred: p}, tr5, abr.Options{Obs: sub})
+		cfg.Obs.MergeTagged(sub, obs.S("pred", p.Name()))
 		qoes = append(qoes, g.MeanQoE)
 		rows = append(rows, g)
 	}
@@ -133,7 +144,9 @@ func Fig18b(cfg Config) []*Table {
 		if err != nil {
 			panic(err)
 		}
-		g := abr.Evaluate(v, &abr.MPC{}, tr5, abr.Options{})
+		sub := obs.Sub(cfg.Obs)
+		g := abr.Evaluate(v, &abr.MPC{}, tr5, abr.Options{Obs: sub})
+		cfg.Obs.MergeTagged(sub, obs.F("chunk_s", cl))
 		bit[i], stall[i] = g.NormBitrate, g.StallPct
 		t.AddRow(fmt.Sprintf("%.0f s", cl), f2(g.NormBitrate), pct(g.StallPct),
 			f1(g.MeanQoE/float64(v.NumChunks)))

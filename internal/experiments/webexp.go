@@ -38,7 +38,7 @@ func Table5(cfg Config) []*Table {
 		for _, w := range corpus {
 			vals = append(vals, w.Features()[idx])
 		}
-		stats.SortN(vals)
+		stats.SortN(mustFinite("table5", vals))
 		return stats.PercentileSorted(vals, 50), stats.PercentileSorted(vals, 95)
 	}
 	names := []string{
@@ -112,10 +112,10 @@ func Fig20(cfg Config) []*Table {
 	}
 	t := &Table{ID: "fig20", Title: "CDF of PLT and energy (4G vs 5G)",
 		Header: []string{"Percentile", "4G PLT (s)", "5G PLT (s)", "4G Energy (J)", "5G Energy (J)"}}
-	stats.SortN(p4)
-	stats.SortN(p5)
-	stats.SortN(e4)
-	stats.SortN(e5)
+	stats.SortN(mustFinite("fig20 PLT 4G", p4))
+	stats.SortN(mustFinite("fig20 PLT 5G", p5))
+	stats.SortN(mustFinite("fig20 energy 4G", e4))
+	stats.SortN(mustFinite("fig20 energy 5G", e5))
 	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
 		t.AddRow(fmt.Sprintf("p%.0f", p),
 			f2(stats.PercentileSorted(p4, p)), f2(stats.PercentileSorted(p5, p)),

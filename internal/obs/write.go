@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// formatFloat renders a float deterministically: shortest representation
+// that round-trips ('g', precision -1), the same on every platform, so
+// artifacts diff cleanly across runs and worker counts.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTraceJSON writes the tracer's records as JSON Lines, one object per
+// record, in emission order:
+//
+//	{"exp":"fig17","at":12.5,"sub":"abr","name":"chunk","idx":3,...}
+//
+// scope, when non-empty, is emitted as the "exp" key of every record (the
+// experiment id in a merged battery artifact). Numeric fields render via
+// the shortest round-trip form; a nil tracer writes nothing. The output is
+// byte-identical for identical records, independent of host or worker
+// count.
+func WriteTraceJSON(w io.Writer, scope string, t *Tracer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for i := range t.recs {
+		r := &t.recs[i]
+		bw.WriteByte('{')
+		if scope != "" {
+			bw.WriteString(`"exp":`)
+			bw.WriteString(strconv.Quote(scope))
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`"at":`)
+		bw.WriteString(formatFloat(r.At))
+		if r.Dur != 0 {
+			bw.WriteString(`,"dur":`)
+			bw.WriteString(formatFloat(r.Dur))
+		}
+		bw.WriteString(`,"sub":`)
+		bw.WriteString(strconv.Quote(r.Sub))
+		bw.WriteString(`,"name":`)
+		bw.WriteString(strconv.Quote(r.Name))
+		for _, f := range r.Fields() {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Quote(f.Key))
+			bw.WriteByte(':')
+			if f.Str != "" {
+				bw.WriteString(strconv.Quote(f.Str))
+			} else {
+				bw.WriteString(formatFloat(f.Num))
+			}
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+// WriteMetricsCSV writes the registry's snapshot as CSV rows
+//
+//	exp,kind,name,field,value
+//
+// without a header (so per-experiment registries concatenate into one
+// artifact; callers write the header once via MetricsCSVHeader). Rows come
+// out in Snapshot order — counters, gauges, histograms, each sorted by
+// name — so the artifact is deterministic. A nil registry writes nothing.
+func WriteMetricsCSV(w io.Writer, scope string, m *Metrics) error {
+	if m == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, p := range m.Snapshot() {
+		bw.WriteString(scope)
+		bw.WriteByte(',')
+		bw.WriteString(p.Kind)
+		bw.WriteByte(',')
+		bw.WriteString(p.Name)
+		bw.WriteByte(',')
+		bw.WriteString(p.Field)
+		bw.WriteByte(',')
+		bw.WriteString(formatFloat(p.Value))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// MetricsCSVHeader is the column header matching WriteMetricsCSV rows.
+const MetricsCSVHeader = "exp,kind,name,field,value\n"

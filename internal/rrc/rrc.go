@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"fivegsim/internal/obs"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/sim"
 )
@@ -223,7 +224,14 @@ type Machine struct {
 	// Log accumulates transitions when LogTransitions is true.
 	LogTransitions bool
 	Log            []Transition
+	// Obs, when non-nil, receives a trace record per state transition and
+	// per-state dwell-time histograms (sim-time stamped; nil costs nothing).
+	Obs *obs.Obs
 }
+
+// dwellBounds are the histogram buckets (seconds) for per-state dwell
+// times, spanning DRX wakes (~40 ms) through the ~10 s tails of Table 7.
+var dwellBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 20, 60}
 
 // NewMachine returns a machine in RRC_IDLE at the engine's current time.
 func NewMachine(eng *sim.Engine, cfg Config) *Machine {
@@ -242,13 +250,29 @@ func (m *Machine) State() State { return m.state }
 // StateSince returns when the current state was entered.
 func (m *Machine) StateSince() float64 { return m.stateSince }
 
-func (m *Machine) setState(s State) {
+func (m *Machine) setState(s State) { m.setStateAt(m.eng.Now(), s) }
+
+// setStateAt is the single transition point of the machine: every state
+// change — including the lazily backdated Connected -> TailNR edge from
+// refresh — funnels through here, so the Log, OnTransition, and obs
+// emissions happen exactly once per transition and stateSince bookkeeping
+// lives in one place. t may be earlier than the engine clock (a backdated
+// edge); it is never earlier than the previous transition.
+func (m *Machine) setStateAt(t float64, s State) {
 	if s == m.state {
 		return
 	}
-	tr := Transition{At: m.eng.Now(), From: m.state, To: s}
+	tr := Transition{At: t, From: m.state, To: s}
+	if m.Obs.Enabled() {
+		dwell := t - m.stateSince
+		m.Obs.Trace().Emit(obs.Span(m.stateSince, dwell, "rrc", "transition").
+			With(obs.S("from", tr.From.String())).
+			With(obs.S("to", tr.To.String())))
+		m.Obs.Meter().Inc("rrc.transitions")
+		m.Obs.Meter().Hist("rrc.dwell_s."+tr.From.String(), dwellBounds).Observe(dwell)
+	}
 	m.state = s
-	m.stateSince = tr.At
+	m.stateSince = t
 	if m.LogTransitions {
 		m.Log = append(m.Log, tr)
 	}
@@ -364,8 +388,10 @@ func (m *Machine) DataActivity() float64 {
 // when the NR data path becomes available.
 func (m *Machine) beginPromotion(delay float64) {
 	now := m.eng.Now()
+	// cancelDemotions just Stop()ed tailTimer, so it is disarmed and
+	// reusable; allocating a fresh sim.Timer here would churn a Timer (and
+	// its fire closure) on every promotion over a long mobility run.
 	m.cancelDemotions()
-	m.tailTimer = sim.NewTimer(m.eng, m.onTailExpiry)
 	m.connectedAt = now + delay
 	switch m.cfg.Network.Mode {
 	case radio.ModeSA:
@@ -373,6 +399,14 @@ func (m *Machine) beginPromotion(delay float64) {
 	case radio.ModeNSA:
 		if m.cfg.Promo5GMs > 0 {
 			m.nrAt = now + m.cfg.Promo5GMs/1000
+			// delay folds in the idle-DRX paging wait, which the 5G
+			// promotion clock above does not see: with a long paging cycle
+			// the NR leg would otherwise come up before the LTE anchor is
+			// even connected, which EN-DC forbids (the secondary cell group
+			// is added by the anchor's RRC signalling).
+			if m.nrAt < m.connectedAt {
+				m.nrAt = m.connectedAt
+			}
 		} else {
 			m.nrAt = m.connectedAt // DSS: NR immediately available
 		}
@@ -389,8 +423,7 @@ func (m *Machine) beginPromotion(delay float64) {
 
 // reconnect moves a tail state back to Connected after a DRX-wake delay.
 func (m *Machine) reconnect(delay float64) {
-	m.cancelDemotions()
-	m.tailTimer = sim.NewTimer(m.eng, m.onTailExpiry)
+	m.cancelDemotions() // tailTimer is now disarmed and reused as-is
 	if delay <= 0 {
 		m.setState(Connected)
 		return
@@ -425,18 +458,12 @@ const minSCGReaddS = 0.4
 const tailThresholdS = 0.1
 
 // refresh updates the Connected/TailNR distinction based on elapsed
-// inactivity. Called lazily from the query methods.
+// inactivity. Called lazily from the query methods. The transition is
+// backdated to the instant inactivity began (the DRX phase anchor) and goes
+// through setStateAt like every other edge.
 func (m *Machine) refresh() {
 	if m.state == Connected && m.eng.Now()-m.lastData > tailThresholdS {
-		// Enter DRX; phase starts at the instant inactivity began.
-		m.state = TailNR
-		m.stateSince = m.lastData + tailThresholdS
-		if m.LogTransitions {
-			m.Log = append(m.Log, Transition{At: m.stateSince, From: Connected, To: TailNR})
-		}
-		if m.OnTransition != nil {
-			m.OnTransition(Transition{At: m.stateSince, From: Connected, To: TailNR})
-		}
+		m.setStateAt(m.lastData+tailThresholdS, TailNR)
 	}
 }
 

@@ -146,6 +146,12 @@ func (c *Client) Repeat(s geo.Server, mode ConnMode, n int) Summary {
 		uls = append(uls, m.ULMbps)
 	}
 	p := c.path(s)
+	// A NaN in any series would shift every rank below (NaNs sort first);
+	// the model must never produce one, so fail loudly instead of
+	// summarising corrupted order statistics.
+	if stats.HasNaN(rtts) || stats.HasNaN(dls) || stats.HasNaN(uls) {
+		panic(fmt.Sprintf("speedtest: NaN in measurement series for server %s", s.Name))
+	}
 	// The per-run series are owned by this call: sort in place once instead
 	// of letting each percentile copy-and-sort.
 	return Summary{

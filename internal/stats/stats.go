@@ -14,7 +14,21 @@ import (
 	"sort"
 )
 
-// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// HasNaN reports whether xs contains a NaN. Aggregation paths use it to
+// fail loudly before a NaN corrupts an order statistic: sort.Float64s
+// orders NaNs first, which silently shifts every rank, so a percentile
+// over NaN-tainted data returns a plausible-looking wrong number.
+func HasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice. A NaN
+// input propagates to a NaN result (visible, never silently absorbed).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -71,9 +85,10 @@ func HarmonicMean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. It returns 0 for an empty slice.
-// It copies xs; callers extracting several percentiles from one sample
-// should SortN once and use PercentileSorted.
+// interpolation between closest ranks. It returns 0 for an empty slice and
+// NaN when xs contains a NaN (see PercentileSorted). It copies xs; callers
+// extracting several percentiles from one sample should SortN once and use
+// PercentileSorted.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -91,10 +106,17 @@ func SortN(xs []float64) []float64 {
 }
 
 // PercentileSorted is Percentile over an already-sorted slice: no copy, no
-// sort. The slice must be ascending (e.g. via SortN).
+// sort. The slice must be ascending (e.g. via SortN). A NaN input returns
+// NaN explicitly: sort.Float64s places NaNs first, so ranks over the
+// remaining elements are all shifted and every percentile would silently
+// be wrong — an explicit NaN surfaces in rendered tables as "NaN" instead.
+// The check is O(1) because NaNs sort to position zero.
 func PercentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(sorted[0]) {
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -283,3 +283,72 @@ func TestCDFMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHasNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		want bool
+	}{
+		{"empty", nil, false},
+		{"clean", []float64{1, 2, 3}, false},
+		{"single", []float64{7}, false},
+		{"single NaN", []float64{nan}, true},
+		{"leading NaN", []float64{nan, 1, 2}, true},
+		{"trailing NaN", []float64{1, 2, nan}, true},
+		{"infinities are not NaN", []float64{math.Inf(-1), 0, math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		if got := HasNaN(c.xs); got != c.want {
+			t.Errorf("%s: HasNaN = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestPercentileNaNInfSingle covers the rank-corruption bug: sort.Float64s
+// orders NaNs first, so before the guard a NaN-tainted slice returned a
+// plausible but rank-shifted value. Now any NaN input yields NaN; ±Inf and
+// single-element slices behave normally.
+func TestPercentileNaNInfSingle(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"NaN poisons p50", []float64{nan, 1, 2, 3}, 50, nan},
+		{"NaN poisons p100", []float64{1, 2, nan}, 100, nan},
+		{"NaN poisons p0", []float64{1, nan}, 0, nan},
+		{"all NaN", []float64{nan, nan}, 50, nan},
+		{"single element p0", []float64{42}, 0, 42},
+		{"single element p50", []float64{42}, 50, 42},
+		{"single element p100", []float64{42}, 100, 42},
+		{"+Inf at the top", []float64{1, 2, inf}, 100, inf},
+		{"-Inf at the bottom", []float64{math.Inf(-1), 1, 2}, 0, math.Inf(-1)},
+		{"interior percentile unaffected by Inf ends", []float64{math.Inf(-1), 5, inf}, 50, 5},
+	}
+	for _, c := range cases {
+		got := Percentile(c.xs, c.p)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Percentile = %v, want NaN", c.name, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Percentile = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// PercentileSorted sees the same guard via the sorted-NaN-first layout.
+	sorted := append([]float64(nil), nan, 1, 2)
+	if got := PercentileSorted(sorted, 95); !math.IsNaN(got) {
+		t.Errorf("PercentileSorted over NaN-tainted slice = %v, want NaN", got)
+	}
+	// Mean propagates NaN visibly rather than absorbing it.
+	if got := Mean([]float64{1, nan}); !math.IsNaN(got) {
+		t.Errorf("Mean with NaN = %v, want NaN", got)
+	}
+}

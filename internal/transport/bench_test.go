@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+
+	"fivegsim/internal/obs"
+)
+
+// mmwavePath is a representative tuned mmWave path: high capacity, moderate
+// RTT, radio-driven loss episodes — the regime where the cwnd/BDP race and
+// loss events both matter.
+var mmwavePath = PathParams{
+	CapacityMbps:  1800,
+	RTTSeconds:    0.028,
+	LossRate:      0.0001,
+	LossEventRate: 0.3,
+}
+
+// BenchmarkSimulateTCP is the tracing-disabled-overhead benchmark: the
+// observability hooks are present in the loop but Obs is nil, so allocs/op
+// must stay at the pre-obs baseline (slab slices only, no per-RTT allocs).
+func BenchmarkSimulateTCP(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	opt := TCPOptions{Flows: 16, WmemBytes: TunedWmemBytes}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateTCP(mmwavePath, opt, rng)
+	}
+}
+
+// BenchmarkSimulateTCPObs is the same run with collection enabled, for
+// measuring the enabled-path cost.
+func BenchmarkSimulateTCPObs(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := TCPOptions{Flows: 16, WmemBytes: TunedWmemBytes, Obs: obs.New()}
+		SimulateTCP(mmwavePath, opt, rng)
+	}
+}
+
+// TestDisabledObsLoopAllocFree pins the nil-Obs contract: SimulateTCP's
+// allocations are the three setup slices (flows, desired, per-second
+// buckets), independent of how many RTT iterations run. If the obs hooks
+// ever allocate on the disabled path, the longer run allocates more and
+// this fails.
+func TestDisabledObsLoopAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	run := func(durS float64) float64 {
+		opt := TCPOptions{Flows: 8, WmemBytes: TunedWmemBytes, DurationS: durS}
+		return testing.AllocsPerRun(50, func() {
+			SimulateTCP(mmwavePath, opt, rng)
+		})
+	}
+	short, long := run(1), run(12)
+	if short != long {
+		t.Fatalf("allocs grow with duration: %v (1s) vs %v (12s) — disabled obs path allocates per RTT", short, long)
+	}
+}

@@ -21,6 +21,8 @@ package transport
 import (
 	"math"
 	"math/rand"
+
+	"fivegsim/internal/obs"
 )
 
 // MSSBytes is the maximum segment size used throughout the fluid model.
@@ -73,6 +75,9 @@ type TCPOptions struct {
 	DurationS float64
 	// InitCwnd is the initial congestion window in packets; 0 means 10.
 	InitCwnd float64
+	// Obs, when enabled, collects per-RTT cwnd samples and per-loss trace
+	// records. nil (the default) keeps the simulation loop allocation-free.
+	Obs *obs.Obs
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -112,6 +117,10 @@ const (
 	cubicC    = 0.4
 	cubicBeta = 0.7
 )
+
+// cwndBounds buckets congestion windows (packets) from slow-start initials
+// to the multi-thousand-packet windows of tuned mmWave paths.
+var cwndBounds = []float64{2, 8, 32, 128, 512, 2048, 8192, 32768}
 
 type cubicFlow struct {
 	cwnd       float64 // packets
@@ -154,6 +163,13 @@ func SimulateTCP(p PathParams, o TCPOptions, rng *rand.Rand) Result {
 		logKeep = math.Log1p(-p.LossRate)
 	}
 	desired := make([]float64, len(flows))
+	// Observability handles, hoisted so the per-RTT loop pays one bool
+	// check when disabled and no map lookups when enabled.
+	obsOn := o.Obs.Enabled()
+	var cwndHist *obs.Histogram
+	if obsOn {
+		cwndHist = o.Obs.Meter().Hist("transport.cwnd_pkts", cwndBounds)
+	}
 	now := 0.0
 	for now < o.DurationS {
 		// Demand this RTT.
@@ -180,6 +196,9 @@ func SimulateTCP(p PathParams, o TCPOptions, rng *rand.Rand) Result {
 			attribute(res.PerSecondMbps, now, rtt, bytes, o.DurationS)
 
 			f := &flows[i]
+			if obsOn {
+				cwndHist.Observe(f.cwnd)
+			}
 			// Loss: random per-packet + time-driven radio events +
 			// proportional drop-tail overflow when the aggregate exceeds
 			// link + queue.
@@ -207,6 +226,12 @@ func SimulateTCP(p PathParams, o TCPOptions, rng *rand.Rand) Result {
 				f.epochStart = now
 				f.inSlowStrt = false
 				res.LossEvents++
+				if obsOn {
+					o.Obs.Meter().Inc("transport.loss_events")
+					o.Obs.Trace().Emit(obs.Ev(now, "transport", "loss").
+						With(obs.F("flow", float64(i))).
+						With(obs.F("cwnd", f.cwnd)))
+				}
 				continue
 			}
 			if f.inSlowStrt && f.cwnd < f.ssthresh {

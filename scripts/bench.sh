@@ -14,17 +14,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
-base="${2:-BENCH_1.json}"
+out="${1:-BENCH_3.json}"
+base="${2:-BENCH_2.json}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 # Root package: one benchmark per paper table/figure plus the serial and
 # parallel whole-campaign runners. internal/sim: kernel hot-path numbers.
-# internal/abr: the Simulate/MPC.Select/Evaluate hot path this PR targets.
+# internal/abr: the Simulate/MPC.Select/Evaluate hot path. internal/obs +
+# internal/transport: the observability layer's cost contract —
+# BenchmarkDisabledEmit and BenchmarkSimulateTCP are the
+# tracing-disabled-overhead numbers (must stay 0 extra allocs/op),
+# BenchmarkEnabledEmit / BenchmarkSimulateTCPObs price the enabled path.
 go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" \
-    . ./internal/sim ./internal/abr | tee "$raw"
+    . ./internal/sim ./internal/abr ./internal/obs ./internal/transport | tee "$raw"
 
 awk '
 BEGIN { n = 0 }

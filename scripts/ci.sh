@@ -44,4 +44,23 @@ if ! diff -q "$tmpdir/serial.txt" "$tmpdir/parallel.txt" >/dev/null; then
     exit 1
 fi
 
+echo "== observability determinism (artifacts + table bytes) =="
+# Same contract for the side channel: -trace/-metrics artifacts must be
+# byte-identical for any -parallel value, and enabling collection must not
+# change a single table byte.
+"$tmpdir/fgrepro" -quick -seed 1 \
+    -trace "$tmpdir/trace-s.jsonl" -metrics "$tmpdir/metrics-s.csv" all \
+    > "$tmpdir/serial-obs.txt"
+"$tmpdir/fgrepro" -quick -seed 1 -parallel 4 \
+    -trace "$tmpdir/trace-p.jsonl" -metrics "$tmpdir/metrics-p.csv" all \
+    > "$tmpdir/parallel-obs.txt"
+for pair in "trace-s.jsonl trace-p.jsonl" "metrics-s.csv metrics-p.csv" \
+            "serial-obs.txt parallel-obs.txt" "serial.txt serial-obs.txt"; do
+    set -- $pair
+    if ! diff -q "$tmpdir/$1" "$tmpdir/$2" >/dev/null; then
+        echo "observability artifact/table mismatch: $1 vs $2" >&2
+        exit 1
+    fi
+done
+
 echo "ci: all green"
