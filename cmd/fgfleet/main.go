@@ -1,0 +1,142 @@
+// Command fgfleet runs city-scale fleet campaigns: 100k-1M concurrent UEs
+// streaming over a tower deployment, sharded across engine cores, reporting
+// population QoE/power/throughput CDFs per band mix.
+//
+// Usage:
+//
+//	fgfleet                        # 100k UEs per mix, all mixes
+//	fgfleet -ues 1000000 -mix mmwave
+//	fgfleet -ues 403 -shards 7 -trace t.json -metrics m.csv
+//
+// Flags:
+//
+//	-ues N         population size per mix (default 100000)
+//	-shards N      engine shards (0 = GOMAXPROCS)
+//	-seed N        campaign seed (default 1)
+//	-mix NAME      low-band, mmwave, mixed, or all (default all)
+//	-window S      arrival window in sim seconds (default 600)
+//	-session S     video session length in sim seconds (default 32)
+//	-trace FILE    write sampled per-session trace records (JSON Lines)
+//	-metrics FILE  write population histograms and counters (CSV)
+//	-stats         wall-clock UEs/sec and event counts on stderr
+//
+// The fleet determinism contract applies: stdout and both artifacts are
+// byte-identical for any -shards value, including 1. Only -stats output
+// (wall-clock) varies between runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"fivegsim/internal/experiments"
+	"fivegsim/internal/fleet"
+	"fivegsim/internal/obs"
+)
+
+func main() {
+	ues := flag.Int("ues", 100000, "population size per mix")
+	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	mixName := flag.String("mix", "all", "deployment mix: low-band, mmwave, mixed, or all")
+	window := flag.Float64("window", 600, "arrival window (sim seconds)")
+	session := flag.Float64("session", 32, "video session length (sim seconds)")
+	traceOut := flag.String("trace", "", "write sampled per-session trace records (JSON Lines) to this file")
+	metricsOut := flag.String("metrics", "", "write population histograms and counters (CSV) to this file")
+	stats := flag.Bool("stats", false, "print wall-clock UEs/sec and event counts to stderr")
+	flag.Parse()
+
+	mixes := fleet.AllMixes
+	if *mixName != "all" {
+		m, err := fleet.MixByName(*mixName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgfleet:", err)
+			os.Exit(2)
+		}
+		mixes = []fleet.Mix{m}
+	}
+
+	var root *obs.Obs
+	if *traceOut != "" || *metricsOut != "" {
+		root = obs.New()
+	}
+
+	type campaign struct {
+		res  *fleet.Result
+		wall time.Duration
+	}
+	runs := make([]campaign, 0, len(mixes))
+	rs := make([]*fleet.Result, 0, len(mixes))
+	for _, mix := range mixes {
+		sub := obs.Sub(root)
+		start := time.Now()
+		r := fleet.Run(fleet.Config{
+			Seed:     *seed,
+			UEs:      *ues,
+			Shards:   *shards,
+			Mix:      mix,
+			WindowS:  *window,
+			SessionS: *session,
+			Obs:      sub,
+		})
+		wall := time.Since(start)
+		root.MergeTagged(sub, obs.S("mix", mix.String()))
+		runs = append(runs, campaign{res: r, wall: wall})
+		rs = append(rs, r)
+	}
+
+	fmt.Println(experiments.FleetTable(rs))
+
+	if *traceOut != "" {
+		writeArtifact(*traceOut, func(f *os.File) error {
+			return obs.WriteTraceJSON(f, "fleet", root.Trace())
+		})
+	}
+	if *metricsOut != "" {
+		writeArtifact(*metricsOut, func(f *os.File) error {
+			return obs.WriteMetricsCSV(f, "fleet", root.Meter())
+		})
+	}
+	if *stats {
+		w := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "mix\tues\twall\tUEs/s\tevents")
+		var events uint64
+		var wall time.Duration
+		for _, c := range runs {
+			events += c.res.Events
+			wall += c.wall
+			fmt.Fprintf(w, "%s\t%d\t%v\t%.0f\t%d\n",
+				c.res.Cfg.Mix, len(c.res.UEs), c.wall.Round(time.Millisecond),
+				float64(len(c.res.UEs))/c.wall.Seconds(), c.res.Events)
+		}
+		fmt.Fprintf(w, "total\t%d\t%v\t%.0f\t%d\n",
+			len(mixes)**ues, wall.Round(time.Millisecond),
+			float64(len(mixes)**ues)/wall.Seconds(), events)
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "fgfleet:", err)
+		}
+	}
+}
+
+// writeArtifact creates path and streams one artifact into it, failing the
+// run on any write error (a truncated artifact must never look like a
+// successful one).
+func writeArtifact(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgfleet:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "fgfleet: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "fgfleet: closing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fivegsim/internal/fleet"
+	"fivegsim/internal/obs"
+	"fivegsim/internal/stats"
+)
+
+func init() { register("fleet", fleetExp) }
+
+// fleetQuick/fleetFull size the per-mix population of the battery's fleet
+// experiment. The CLI (cmd/fgfleet) and BenchmarkFleet* run the 100k+
+// campaigns; the battery keeps the experiment in the same wall-clock class
+// as the large figure experiments.
+const (
+	fleetQuickUEs = 900
+	fleetFullUEs  = 24000
+)
+
+// fleetExp is the population experiment: city-wide QoE, power, and
+// throughput CDFs by band mix (low-band blanket vs mmWave small cells vs
+// mixed), the operator-strategy comparison that ERRANT-style population
+// profiles motivate. One campaign per mix; shard count follows GOMAXPROCS
+// and — by the fleet determinism contract — cannot affect a byte of this
+// table or of the merged obs artifacts.
+func fleetExp(cfg Config) []*Table {
+	n := cfg.pick(fleetQuickUEs, fleetFullUEs)
+	rs := make([]*fleet.Result, 0, len(fleet.AllMixes))
+	for _, mix := range fleet.AllMixes {
+		sub := obs.Sub(cfg.Obs)
+		r := fleet.Run(fleet.Config{Seed: cfg.Seed, UEs: n, Mix: mix, Obs: sub})
+		rs = append(rs, r)
+		cfg.Obs.MergeTagged(sub, obs.S("mix", mix.String()))
+	}
+	return []*Table{FleetTable(rs)}
+}
+
+// FleetTable renders campaign results as population CDF rows (one row per
+// mix and metric). Shared by the battery experiment, cmd/fgfleet, and the
+// byte-identity tests, so "the table" means the same bytes everywhere.
+func FleetTable(rs []*fleet.Result) *Table {
+	t := &Table{
+		ID:     "fleet",
+		Title:  "City-scale population campaign: QoE/power/throughput CDFs by band mix",
+		Header: []string{"mix", "metric", "p5", "p25", "p50", "p75", "p95", "mean"},
+	}
+	for _, r := range rs {
+		mix := r.Cfg.Mix.String()
+		addCDFRow(t, mix, "tput Mbps", r.ThroughputsMbps())
+		addCDFRow(t, mix, "QoE/chunk", r.QoEs())
+		addCDFRow(t, mix, "energy J", r.EnergiesJ())
+		addCDFRow(t, mix, "stall s", r.StallsS())
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %d UEs, %s of chunks on NR",
+			mix, len(r.UEs), pct(100*r.NRShare())))
+	}
+	return t
+}
+
+func addCDFRow(t *Table, mix, metric string, xs []float64) {
+	sorted := stats.SortN(mustFinite("fleet "+mix+" "+metric, xs))
+	t.AddRow(mix, metric,
+		f1(stats.PercentileSorted(sorted, 5)),
+		f1(stats.PercentileSorted(sorted, 25)),
+		f1(stats.PercentileSorted(sorted, 50)),
+		f1(stats.PercentileSorted(sorted, 75)),
+		f1(stats.PercentileSorted(sorted, 95)),
+		f1(stats.Mean(sorted)))
+}

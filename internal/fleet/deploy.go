@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"fmt"
+
+	"fivegsim/internal/cell"
+	"fivegsim/internal/device"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rrc"
+)
+
+// Mix selects the tower deployment a campaign simulates: which radio layers
+// blanket the city route. The three mixes bracket the paper's operator
+// strategies — T-Mobile's low-band coverage play, Verizon's mmWave capacity
+// play, and the realistic hybrid (mmWave hotspots downtown over a low-band
+// blanket).
+type Mix int
+
+const (
+	// MixLowBand is an NSA low-band (n71) blanket over an LTE anchor.
+	MixLowBand Mix = iota
+	// MixMmWave is NSA mmWave (n261) small cells over an LTE anchor;
+	// coverage holes between cells fall back to 4G, as measured.
+	MixMmWave
+	// MixMixed is mmWave hotspots over the downtown third of the route,
+	// a low-band blanket everywhere, and the LTE anchor underneath.
+	MixMixed
+)
+
+// AllMixes lists the deployments in table order.
+var AllMixes = []Mix{MixLowBand, MixMmWave, MixMixed}
+
+func (m Mix) String() string {
+	switch m {
+	case MixLowBand:
+		return "low-band"
+	case MixMmWave:
+		return "mmwave"
+	case MixMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Mix(%d)", int(m))
+	}
+}
+
+// MixByName parses a mix name as used by the fgfleet -mix flag.
+func MixByName(s string) (Mix, error) {
+	for _, m := range AllMixes {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: unknown mix %q (try low-band, mmwave, mixed)", s)
+}
+
+// layer is one radio layer of a deployment: a network's sites along the
+// route plus the per-layer link parameters the session model needs.
+type layer struct {
+	net    radio.Network
+	layout cell.Layout
+	ccs    int     // S20U carrier-aggregation level on this layer
+	rttS   float64 // air RTT + core network RTT
+	lossEv float64 // radio loss-episode rate (events/s at full utilization)
+	mmWave bool    // subject to blockage (NLoS) state
+	nr     bool    // counts toward the 5G chunk share
+}
+
+// deployment is the read-only world shared by every shard of a campaign:
+// tower layouts per layer in preference order, the primary deployment's RRC
+// parameters, and the ABR ladder. It is built once in Run and only read
+// from shard goroutines.
+type deployment struct {
+	mix     Mix
+	routeKm float64
+	layers  []layer // preference order: best technology first, LTE last
+	prim    rrc.Config
+	ladder  []float64 // track bitrates, Mbps, ascending
+	chunkS  float64
+	hasMm   bool
+}
+
+// coreRTTS is the core-network + server contribution to the RTT, on top of
+// each band's air interface latency.
+const coreRTTS = 0.015
+
+// Radio loss-episode rates by layer kind (events/second at full pipe
+// utilization): beam switches and blockage on mmWave, handovers on the
+// blanket layers. Mirrors the PathParams.LossEventRate scale used by the
+// transport experiments.
+const (
+	lossEvMmWave  = 0.25
+	lossEvLowBand = 0.05
+	lossEvLTE     = 0.03
+)
+
+// ladderTracks is the bitrate ladder depth; adjacent tracks are spaced by
+// ladderStep (the 1.5x spacing of the ABR experiments).
+const (
+	ladderTracks = 6
+	ladderStep   = 1.5
+)
+
+func newLayer(net radio.Network, layout cell.Layout, lossEv float64) layer {
+	spec := device.Specs[device.S20U]
+	class := net.Band.Class
+	return layer{
+		net:    net,
+		layout: layout,
+		ccs:    spec.CCFor(class, radio.Downlink),
+		rttS:   net.Band.AirRTTMs/1000 + coreRTTS,
+		lossEv: lossEv,
+		mmWave: class == radio.ClassMmWave,
+		nr:     net.Mode != radio.ModeLTE,
+	}
+}
+
+// newDeployment builds the shared world for a mix along a route.
+func newDeployment(mix Mix, routeKm float64) *deployment {
+	d := &deployment{mix: mix, routeKm: routeKm, chunkS: 4}
+	topMbps := 160.0 // the mmWave-capable ladder of the ABR experiments
+	switch mix {
+	case MixLowBand:
+		topMbps = 55
+		d.layers = []layer{
+			newLayer(radio.TMobileNSALowBand,
+				cell.LinearLayout(radio.TMobileNSALowBand, routeKm, 2.2, 0.4), lossEvLowBand),
+			newLayer(radio.TMobileLTE,
+				cell.LinearLayout(radio.TMobileLTE, routeKm, 0.5, 0.25), lossEvLTE),
+		}
+		d.prim = rrc.MustConfig(radio.TMobileNSALowBand)
+	case MixMmWave:
+		d.layers = []layer{
+			newLayer(radio.VerizonNSAmmWave,
+				cell.LinearLayout(radio.VerizonNSAmmWave, routeKm, 0.45, 0.1), lossEvMmWave),
+			newLayer(radio.VerizonLTE,
+				cell.LinearLayout(radio.VerizonLTE, routeKm, 0.5, 0.25), lossEvLTE),
+		}
+		d.prim = rrc.MustConfig(radio.VerizonNSAmmWave)
+	case MixMixed:
+		// mmWave hotspots cover only the downtown third of the route;
+		// the low-band blanket and the LTE anchor run end to end.
+		d.layers = []layer{
+			newLayer(radio.VerizonNSAmmWave,
+				cell.LinearLayout(radio.VerizonNSAmmWave, routeKm/3, 0.45, 0.1), lossEvMmWave),
+			newLayer(radio.TMobileNSALowBand,
+				cell.LinearLayout(radio.TMobileNSALowBand, routeKm, 2.2, 0.4), lossEvLowBand),
+			newLayer(radio.TMobileLTE,
+				cell.LinearLayout(radio.TMobileLTE, routeKm, 0.5, 0.25), lossEvLTE),
+		}
+		d.prim = rrc.MustConfig(radio.TMobileNSALowBand)
+	default:
+		panic(fmt.Sprintf("fleet: unknown mix %v", mix))
+	}
+	for _, la := range d.layers {
+		if la.mmWave {
+			d.hasMm = true
+		}
+	}
+	d.ladder = make([]float64, ladderTracks)
+	rate := topMbps
+	for i := ladderTracks - 1; i >= 0; i-- {
+		d.ladder[i] = rate
+		rate /= ladderStep
+	}
+	return d
+}
+
+// outageFloorMbps is the rate a UE limps along at when no layer is usable
+// (deep shadow between mmWave cells with the fallback also faded): the
+// link is effectively down but the model keeps making progress.
+const outageFloorMbps = 0.3
+
+// serve picks the serving layer at a route position: the first layer in
+// preference order whose cell can sustain at least the bottom ladder track
+// in real time (a UE at the ragged edge of a mmWave hotspot must not be
+// "preferred" onto a link that cannot stream — it camps on the blanket
+// layer instead, the measured NSA fallback behaviour). mmWave layers are
+// skipped while the UE's line of sight is blocked. If no layer clears the
+// streaming bar, the best-capacity attached layer serves; if nothing is
+// attached at all, the UE limps on the last (LTE) layer at the outage
+// floor.
+func (d *deployment) serve(km, shadowDb float64, blocked bool) (la *layer, rsrp, capMbps float64) {
+	minServe := d.ladder[0]
+	bestLi, bestCap, bestRSRP := -1, 0.0, 0.0
+	for li := range d.layers {
+		l := &d.layers[li]
+		if l.mmWave && blocked {
+			continue
+		}
+		_, r, ok := l.layout.Best(km, shadowDb, true)
+		if !ok {
+			continue
+		}
+		c := l.net.EffectiveCapacityMbps(radio.Downlink, l.ccs, r)
+		if c >= minServe {
+			return l, r, c
+		}
+		if c > bestCap {
+			bestLi, bestCap, bestRSRP = li, c, r
+		}
+	}
+	if bestLi >= 0 {
+		return &d.layers[bestLi], bestRSRP, bestCap
+	}
+	l := &d.layers[len(d.layers)-1]
+	return l, l.net.Band.EdgeRSRPDbm, outageFloorMbps
+}

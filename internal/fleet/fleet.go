@@ -1,0 +1,237 @@
+// Package fleet runs city-scale population campaigns: 100k-1M concurrent
+// UEs streaming over a shared tower deployment, partitioned across N
+// independent engine shards (default one per core).
+//
+// Each shard owns a contiguous UE id range, a private sim.Engine calendar,
+// and a struct-of-arrays session slab (see slab.go) holding every UE's RRC
+// phase, CUBIC transport state, ABR buffer state, and power accumulators in
+// parallel arrays with freelist recycling. All UEs of a shard step through
+// the one shared calendar — one engine per shard, not per UE.
+//
+// Determinism contract: campaign output — tables, CDFs, and obs artifacts —
+// is byte-identical at any shard count, including 1. Three rules make that
+// hold by construction:
+//
+//  1. Per-UE randomness derives from (campaignSeed, ueID) only (rng.go).
+//  2. UEs never interact: a session reads the shared read-only deployment,
+//     its own slab fields, and its own stream; shards write disjoint
+//     ranges of one results slice, indexed by global UE id.
+//  3. All aggregation happens in a serial reduce over the results slice in
+//     UE id order after every shard joins — the EvaluateWorkers /
+//     obs.Sub+MergeTagged pattern, with the UE id as the fold order.
+package fleet
+
+import (
+	"runtime"
+	"sync"
+
+	"fivegsim/internal/obs"
+	"fivegsim/internal/sim"
+)
+
+// Config parameterises a campaign.
+type Config struct {
+	// Seed drives all randomness, via UESeed(Seed, ueID).
+	Seed int64
+	// UEs is the population size.
+	UEs int
+	// Shards is the number of engine shards; <= 0 means GOMAXPROCS.
+	// Output does not depend on it.
+	Shards int
+	// Mix selects the tower deployment (see Mix).
+	Mix Mix
+	// WindowS is the arrival window: session starts are uniform over
+	// [0, WindowS). 0 means 600 (a ten-minute city hour).
+	WindowS float64
+	// SessionS is the video length per UE. 0 means 32.
+	SessionS float64
+	// RouteKm is the city route length. 0 means 12.
+	RouteKm float64
+	// Obs, when enabled, receives population CDF histograms, campaign
+	// counters, and sampled per-session trace records from the reduce.
+	// It never changes the tables, and shard count never changes its
+	// bytes. nil costs nothing.
+	Obs *obs.Obs
+	// TraceEvery samples every k-th UE for a per-session trace record;
+	// 0 derives a stride targeting ~512 records per campaign.
+	TraceEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.WindowS == 0 {
+		c.WindowS = 600
+	}
+	if c.SessionS == 0 {
+		c.SessionS = 32
+	}
+	if c.RouteKm == 0 {
+		c.RouteKm = 12
+	}
+	return c
+}
+
+// UEResult is one UE's session summary, written by its owning shard at
+// results[ueID] and read only after all shards join.
+type UEResult struct {
+	ArrivalS  float64 // session start (sim time)
+	DurationS float64 // arrival through return to idle
+	MeanMbps  float64 // goodput while transferring
+	QoE       float64 // per-chunk QoE (bitrate - switch - rebuffer terms)
+	StallS    float64
+	StartupS  float64
+	EnergyJ   float64 // radio energy, promotion through idle
+	Chunks    int32
+	NRChunks  int32 // chunks served over an NR layer (vs LTE fallback)
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Cfg    Config
+	UEs    []UEResult // indexed by UE id
+	Events uint64     // calendar events across all shards
+}
+
+// Extraction helpers for the population CDFs. Each returns a fresh slice in
+// UE id order.
+func (r *Result) ThroughputsMbps() []float64 {
+	return r.extract(func(u UEResult) float64 { return u.MeanMbps })
+}
+
+// QoEs returns the per-chunk QoE of every UE.
+func (r *Result) QoEs() []float64 { return r.extract(func(u UEResult) float64 { return u.QoE }) }
+
+// EnergiesJ returns the per-session radio energy of every UE.
+func (r *Result) EnergiesJ() []float64 {
+	return r.extract(func(u UEResult) float64 { return u.EnergyJ })
+}
+
+// StallsS returns the total rebuffering time of every UE.
+func (r *Result) StallsS() []float64 { return r.extract(func(u UEResult) float64 { return u.StallS }) }
+
+func (r *Result) extract(f func(UEResult) float64) []float64 {
+	out := make([]float64, len(r.UEs))
+	for i, u := range r.UEs {
+		out[i] = f(u)
+	}
+	return out
+}
+
+// NRShare returns the fraction of chunks served over an NR layer.
+func (r *Result) NRShare() float64 {
+	var nr, total int64
+	for _, u := range r.UEs {
+		nr += int64(u.NRChunks)
+		total += int64(u.Chunks)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(nr) / float64(total)
+}
+
+// Range is a contiguous UE id interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Partition splits n UEs into the given number of contiguous ranges with
+// sizes differing by at most one (the first n%shards ranges get the extra
+// UE). Empty ranges are dropped, so shards > n is safe.
+func Partition(n, shards int) []Range {
+	if shards < 1 {
+		shards = 1
+	}
+	base, rem := n/shards, n%shards
+	out := make([]Range, 0, shards)
+	lo := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// Run executes a campaign: fan the population out over engine shards, join,
+// then reduce serially in UE id order.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	dep := newDeployment(cfg.Mix, cfg.RouteKm)
+	results := make([]UEResult, cfg.UEs)
+	ranges := Partition(cfg.UEs, cfg.Shards)
+	events := make([]uint64, len(ranges))
+	var wg sync.WaitGroup
+	for si, rg := range ranges {
+		wg.Add(1)
+		go func(si int, rg Range) {
+			defer wg.Done()
+			// Each shard goroutine gets its own engine and event
+			// counter; shards touch only results[rg.Lo:rg.Hi].
+			events[si] = sim.CountEvents(func() {
+				newShard(cfg, dep, rg.Lo, rg.Hi, results).run()
+			})
+		}(si, rg)
+	}
+	wg.Wait()
+	res := &Result{Cfg: cfg, UEs: results}
+	for _, e := range events {
+		res.Events += e
+	}
+	reduce(cfg, res)
+	return res
+}
+
+// Population histogram bounds for the obs CDFs.
+var (
+	tputBounds   = []float64{1, 2, 5, 10, 20, 50, 100, 200, 400, 800, 1600}
+	qoeBounds    = []float64{-40, -10, 0, 5, 10, 20, 40, 80, 160}
+	energyBounds = []float64{5, 10, 20, 40, 80, 160, 320}
+	stallBounds  = []float64{0.1, 0.5, 1, 2, 5, 10, 30, 60}
+)
+
+// reduce folds the campaign into the obs collector, strictly in UE id
+// order. Shard boundaries are invisible here: every observation, counter,
+// and sampled trace record depends only on (ueID, results[ueID]) and the
+// sampling stride, so the artifact bytes cannot depend on the shard count.
+func reduce(cfg Config, res *Result) {
+	if !cfg.Obs.Enabled() {
+		return
+	}
+	m := cfg.Obs.Meter()
+	tr := cfg.Obs.Trace()
+	tputH := m.Hist("fleet.tput_mbps", tputBounds)
+	qoeH := m.Hist("fleet.qoe", qoeBounds)
+	energyH := m.Hist("fleet.energy_j", energyBounds)
+	stallH := m.Hist("fleet.stall_s", stallBounds)
+	every := cfg.TraceEvery
+	if every <= 0 {
+		every = len(res.UEs)/512 + 1
+	}
+	for id, u := range res.UEs {
+		tputH.Observe(u.MeanMbps)
+		qoeH.Observe(u.QoE)
+		energyH.Observe(u.EnergyJ)
+		stallH.Observe(u.StallS)
+		m.Add("fleet.chunks", float64(u.Chunks))
+		m.Add("fleet.nr_chunks", float64(u.NRChunks))
+		m.Add("fleet.stall_s_total", u.StallS)
+		if id%every == 0 {
+			tr.Emit(obs.Span(u.ArrivalS, u.DurationS, "fleet", "session").
+				With(obs.F("ue", float64(id))).
+				With(obs.F("mbps", u.MeanMbps)).
+				With(obs.F("qoe", u.QoE)).
+				With(obs.F("energy_j", u.EnergyJ)))
+		}
+	}
+	// Note: res.Events is deliberately NOT folded into obs. Event totals
+	// include per-shard admitter bookkeeping events, which legitimately
+	// vary with the partition; everything obs-visible must not.
+	m.Add("fleet.ues", float64(len(res.UEs)))
+}

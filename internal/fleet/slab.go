@@ -1,0 +1,124 @@
+package fleet
+
+// slab is the struct-of-arrays session store of one shard: every per-UE
+// field lives in its own parallel array, indexed by slot. This is the PR 1
+// calendar's slot-slab pattern applied to session state: slots are
+// recycled through a freelist as sessions finish, so a shard's memory is
+// bounded by its peak concurrent sessions, not its UE count, and stepping
+// walks dense arrays instead of chasing per-UE pointers.
+//
+// One step closure is allocated per slot when the slot is first created
+// (the sim.Timer pattern) and reused by every subsequent occupant: the
+// closure captures only the shard and the slot index, never the occupant,
+// so steady-state admission and stepping allocate nothing.
+//
+// Slot indices are an ownership artifact only — no model decision may read
+// one. A UE's evolution depends on its slab fields and its (campaignSeed,
+// ueID)-derived RNG stream alone, which is what makes freelist recycling
+// order (and therefore shard composition) observationally irrelevant.
+type slab struct {
+	free []int32
+
+	// identity
+	ue  []int    // global UE id (index into the campaign results slice)
+	rng []uint64 // splitmix64 stream state, seeded by UESeed
+
+	// radio environment
+	pos     []float64 // route position, km (static per session)
+	shadow  []float64 // AR(1) shadow fading state, dB
+	blocked []bool    // mmWave line-of-sight blockage state
+
+	// session phase
+	phase   []uint8
+	chunk   []int32   // chunks completed
+	lastEnd []float64 // when the last chunk (or promotion) finished
+
+	// ABR player
+	buffer []float64
+	lastQ  []int32
+	ring   [][3]float64 // recent chunk throughputs (harmonic predictor)
+	nring  []int32
+
+	// transport (CUBIC state, packets)
+	cwnd  []float64
+	ssth  []float64
+	wmax  []float64
+	k     []float64 // CUBIC inflection time, cached at each loss
+	epoch []float64 // time of last loss
+	slow  []bool
+
+	// accumulators
+	arrive  []float64
+	qoe     []float64
+	stall   []float64
+	startup []float64
+	energyJ []float64
+	mb      []float64 // megabits fetched
+	activeS []float64 // seconds spent transferring
+	nr      []int32   // chunks served over an NR layer
+
+	// step is the slot's pre-allocated event closure.
+	step []func()
+}
+
+// session phases driven by the step closure.
+const (
+	phaseStream  uint8 = iota // fetching chunks
+	phaseTail                 // in the (NR) connected tail after last data
+	phaseCascade              // NSA LTE tail or SA RRC_INACTIVE dwell
+)
+
+// grow appends one fresh slot to every array and returns its index. sh is
+// needed only to build the slot's step closure.
+func (s *slab) grow(sh *shard) int32 {
+	i := int32(len(s.ue))
+	s.ue = append(s.ue, 0)
+	s.rng = append(s.rng, 0)
+	s.pos = append(s.pos, 0)
+	s.shadow = append(s.shadow, 0)
+	s.blocked = append(s.blocked, false)
+	s.phase = append(s.phase, phaseStream)
+	s.chunk = append(s.chunk, 0)
+	s.lastEnd = append(s.lastEnd, 0)
+	s.buffer = append(s.buffer, 0)
+	s.lastQ = append(s.lastQ, 0)
+	s.ring = append(s.ring, [3]float64{})
+	s.nring = append(s.nring, 0)
+	s.cwnd = append(s.cwnd, 0)
+	s.ssth = append(s.ssth, 0)
+	s.wmax = append(s.wmax, 0)
+	s.k = append(s.k, 0)
+	s.epoch = append(s.epoch, 0)
+	s.slow = append(s.slow, false)
+	s.arrive = append(s.arrive, 0)
+	s.qoe = append(s.qoe, 0)
+	s.stall = append(s.stall, 0)
+	s.startup = append(s.startup, 0)
+	s.energyJ = append(s.energyJ, 0)
+	s.mb = append(s.mb, 0)
+	s.activeS = append(s.activeS, 0)
+	s.nr = append(s.nr, 0)
+	s.step = append(s.step, func() { sh.stepSlot(i) })
+	return i
+}
+
+// alloc returns a slot: recycled from the freelist when possible, grown
+// otherwise. The caller initializes every field; recycled slots keep their
+// step closure.
+func (s *slab) alloc(sh *shard) int32 {
+	if n := len(s.free); n > 0 {
+		i := s.free[n-1]
+		s.free = s.free[:n-1]
+		return i
+	}
+	return s.grow(sh)
+}
+
+// release returns a finished session's slot to the freelist.
+func (s *slab) release(i int32) {
+	s.free = append(s.free, i)
+}
+
+// len returns the slot capacity reached so far (live + free), the shard's
+// peak concurrent session count.
+func (s *slab) len() int { return len(s.ue) }

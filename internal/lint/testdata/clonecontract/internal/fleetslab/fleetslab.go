@@ -1,0 +1,42 @@
+// Package fleetslab is a clonecontract fixture shaped like the fleet
+// session slab: an ABR policy whose per-session state lives in parallel
+// struct-of-arrays columns, where a shallow Clone would hand a second
+// shard aliases of every column.
+package fleetslab
+
+import "fixture/internal/abr"
+
+// SlabPolicy keeps per-session ABR state in slab columns plus a freelist.
+type SlabPolicy struct {
+	free   []int32
+	ring   [][3]float64
+	buffer []float64
+}
+
+func (s *SlabPolicy) Name() string                { return "slab" }
+func (s *SlabPolicy) Select(ctx *abr.Context) int { return 0 }
+func (s *SlabPolicy) Reset()                      { s.free = s.free[:0] }
+
+// Clone copies the struct but leaves every column shared between shards.
+func (s *SlabPolicy) Clone() abr.Algorithm {
+	c := *s // want: clonecontract
+	return &c
+}
+
+// FreshPolicy is the same shape with a column-owning Clone: accepted.
+type FreshPolicy struct {
+	free   []int32
+	buffer []float64
+}
+
+func (f *FreshPolicy) Name() string                { return "fresh" }
+func (f *FreshPolicy) Select(ctx *abr.Context) int { return 0 }
+func (f *FreshPolicy) Reset()                      {}
+
+// Clone gives the copy its own columns: each shard owns its storage.
+func (f *FreshPolicy) Clone() abr.Algorithm {
+	c := *f
+	c.free = append([]int32(nil), f.free...)
+	c.buffer = append([]float64(nil), f.buffer...)
+	return &c
+}

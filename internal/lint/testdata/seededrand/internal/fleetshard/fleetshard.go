@@ -1,0 +1,29 @@
+// Package fleetshard is a seededrand fixture shaped like the fleet layer:
+// per-UE streams must derive from (campaignSeed, ueID), never from global
+// draws inside a step function and never from the UE id alone.
+package fleetshard
+
+import "math/rand"
+
+// Shard owns a contiguous UE id range of a campaign.
+type Shard struct {
+	CampaignSeed int64
+	Lo, Hi       int
+}
+
+// BadStep perturbs a session from the process-global source; the draw then
+// depends on every other shard's consumption order.
+func (s *Shard) BadStep() float64 {
+	return rand.Float64() // want: seededrand
+}
+
+// BadPerUE seeds from the UE id alone: sessions collide across campaign
+// seeds and the stream is not a function of the campaign.
+func (s *Shard) BadPerUE(ue int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(ue))) // want: seededrand
+}
+
+// GoodPerUE derives the per-UE stream from (campaignSeed, ueID): accepted.
+func (s *Shard) GoodPerUE(ue int) *rand.Rand {
+	return rand.New(rand.NewSource(s.CampaignSeed ^ int64(ue)*0x9e3779b9))
+}

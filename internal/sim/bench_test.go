@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"strconv"
+	"testing"
+)
 
 // BenchmarkScheduleRun measures the schedule->fire hot path. At steady
 // state the slab and heap capacities are warm, so each op must recycle a
@@ -41,6 +44,46 @@ func BenchmarkScheduleRunDeep(b *testing.B) {
 		e.Schedule(1e-4, fn) // fires before the standing backlog
 		e.Step()
 	}
+}
+
+// BenchmarkMultiSessionCalendar is the fleet fan-in shape: thousands of
+// sessions sharing one calendar, each re-arming its own pre-allocated
+// closure at a staggered period (the per-shard slab pattern). Steady state
+// must hold 0 allocs/op at every depth the fleet shards run at.
+func BenchmarkMultiSessionCalendar(b *testing.B) {
+	for _, sessions := range []int{1 << 10, 1 << 13, 1 << 16} {
+		b.Run(sizeName(sessions), func(b *testing.B) {
+			e := NewEngine()
+			// One closure per session, allocated up front exactly like
+			// slab.grow: each fire re-schedules itself at a period that
+			// staggers the calendar so fire order keeps interleaving.
+			steps := make([]func(), sessions)
+			for i := range steps {
+				period := 1 + float64(i%97)/97
+				i := i
+				steps[i] = func() { e.Schedule(period, steps[i]) }
+			}
+			for i, fn := range steps {
+				e.Schedule(float64(i)/float64(sessions), fn)
+			}
+			// Drain one full rotation so heap and slab growth is done.
+			for i := 0; i < 2*sessions; i++ {
+				e.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1<<10 {
+		return strconv.Itoa(n>>10) + "Ki"
+	}
+	return strconv.Itoa(n)
 }
 
 // BenchmarkCancelHeavy measures schedule->cancel, the other half of the

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -63,5 +64,89 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if !reflect.DeepEqual(c.Set5G(6, 30, 7), GenSet5G(6, 30, 7)) {
 		t.Error("concurrently-built set differs from GenSet5G")
+	}
+}
+
+// TestCacheSingleFlightHammer hammers one key from GOMAXPROCS-scaled
+// goroutine counts (the fleet-shard startup pattern: every shard asks for
+// the same (kind, dur, seed) set at once) and asserts the single-flight
+// contract: each trace is generated exactly once, every caller gets the
+// same backing arrays, and the result still equals GenSet*.
+func TestCacheSingleFlightHammer(t *testing.T) {
+	c := NewCache()
+	workers := 4 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	const (
+		n5, n4 = 12, 9
+		durS   = 40
+		seed   = 7
+	)
+	sets5 := make([][][]float64, workers)
+	sets4 := make([][][]float64, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for rep := 0; rep < 4; rep++ {
+				// Mixed prefix/full requests on the same keys: prefixes
+				// must not trigger regeneration either.
+				_ = c.Set5G(1+w%n5, durS, seed)
+				sets5[w] = c.Set5G(n5, durS, seed)
+				_ = c.Set4G(1+w%n4, durS, seed)
+				sets4[w] = c.Set4G(n4, durS, seed)
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	if got, want := c.Generations(), int64(n5+n4); got != want {
+		t.Errorf("Generations() = %d, want %d (single-flight violated)", got, want)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < n5; i++ {
+			if &sets5[w][i][0] != &sets5[0][i][0] {
+				t.Fatalf("worker %d 5G trace %d: distinct backing array", w, i)
+			}
+		}
+		for i := 0; i < n4; i++ {
+			if &sets4[w][i][0] != &sets4[0][i][0] {
+				t.Fatalf("worker %d 4G trace %d: distinct backing array", w, i)
+			}
+		}
+	}
+	if !reflect.DeepEqual(sets5[0], GenSet5G(n5, durS, seed)) {
+		t.Error("hammered 5G set differs from GenSet5G")
+	}
+	if !reflect.DeepEqual(sets4[0], GenSet4G(n4, durS, seed)) {
+		t.Error("hammered 4G set differs from GenSet4G")
+	}
+}
+
+// TestCacheGenerationsCountsExtensions pins the Generations accounting:
+// growing a key counts only the missing tail, and distinct keys are
+// generated independently (concurrently, under their own entry locks).
+func TestCacheGenerationsCountsExtensions(t *testing.T) {
+	c := NewCache()
+	c.Set5G(3, 30, 1)
+	if got := c.Generations(); got != 3 {
+		t.Fatalf("after Set5G(3): Generations() = %d, want 3", got)
+	}
+	c.Set5G(3, 30, 1) // fully cached: no new generations
+	if got := c.Generations(); got != 3 {
+		t.Fatalf("after cached hit: Generations() = %d, want 3", got)
+	}
+	c.Set5G(5, 30, 1) // extends by 2
+	if got := c.Generations(); got != 5 {
+		t.Fatalf("after extension to 5: Generations() = %d, want 5", got)
+	}
+	c.Set4G(2, 30, 1) // different kind = different key
+	if got := c.Generations(); got != 7 {
+		t.Fatalf("after Set4G(2): Generations() = %d, want 7", got)
 	}
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# bench.sh — run the per-experiment campaign benchmarks plus the sim-kernel
-# and ABR hot-path micro-benchmarks, emit BENCH_2.json: {"<name>":
-# {"ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}, ...}, and
-# print the per-benchmark delta against the previous recording (BENCH_1.json)
-# so the perf trajectory is tracked PR over PR.
+# bench.sh — run the per-experiment campaign benchmarks plus the sim-kernel,
+# ABR, and fleet hot-path micro-benchmarks, emit BENCH_4.json: {"<name>":
+# {"ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...,
+# ["ues_per_s": ...]}, ...}, and print the per-benchmark delta against the
+# previous recording (BENCH_3.json) so the perf trajectory is tracked PR
+# over PR.
 #
 # Usage:
 #   scripts/bench.sh [output.json] [baseline.json]
@@ -14,8 +15,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
-base="${2:-BENCH_2.json}"
+out="${1:-BENCH_4.json}"
+base="${2:-BENCH_3.json}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -27,8 +28,11 @@ trap 'rm -f "$raw"' EXIT
 # BenchmarkDisabledEmit and BenchmarkSimulateTCP are the
 # tracing-disabled-overhead numbers (must stay 0 extra allocs/op),
 # BenchmarkEnabledEmit / BenchmarkSimulateTCPObs price the enabled path.
+# internal/fleet: city-scale campaign throughput (BenchmarkFleetCampaign
+# reports UEs/s) and the 0-alloc steady-state stepping contract.
 go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" \
-    . ./internal/sim ./internal/abr ./internal/obs ./internal/transport | tee "$raw"
+    . ./internal/sim ./internal/abr ./internal/obs ./internal/transport \
+    ./internal/fleet | tee "$raw"
 
 awk '
 BEGIN { n = 0 }
@@ -36,16 +40,19 @@ BEGIN { n = 0 }
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; ues = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns     = $(i - 1)
         if ($i == "B/op")      bytes  = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "UEs/s")     ues    = $(i - 1)
     }
     if (ns == "") next
     if (n++) printf(",\n")
-    printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+    printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
            name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    if (ues != "") printf(", \"ues_per_s\": %s", ues)
+    printf("}")
 }
 END { if (n) printf("\n") }
 ' "$raw" | { echo "{"; cat; echo "}"; } > "$out"

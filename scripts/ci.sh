@@ -63,4 +63,25 @@ for pair in "trace-s.jsonl trace-p.jsonl" "metrics-s.csv metrics-p.csv" \
     fi
 done
 
+echo "== fleet determinism (serial vs sharded) =="
+# The fleet contract: campaign tables and obs artifacts are byte-identical
+# at any shard count. 403 UEs is deliberately indivisible by 7, so the
+# sharded run exercises an uneven partition.
+go build -o "$tmpdir/fgfleet" ./cmd/fgfleet
+"$tmpdir/fgfleet" -ues 403 -shards 1 -seed 7 -window 60 \
+    -trace "$tmpdir/fleet-trace-1.jsonl" -metrics "$tmpdir/fleet-metrics-1.csv" \
+    > "$tmpdir/fleet-1.txt"
+"$tmpdir/fgfleet" -ues 403 -shards 7 -seed 7 -window 60 \
+    -trace "$tmpdir/fleet-trace-7.jsonl" -metrics "$tmpdir/fleet-metrics-7.csv" \
+    > "$tmpdir/fleet-7.txt"
+for pair in "fleet-1.txt fleet-7.txt" "fleet-trace-1.jsonl fleet-trace-7.jsonl" \
+            "fleet-metrics-1.csv fleet-metrics-7.csv"; do
+    set -- $pair
+    if ! diff -q "$tmpdir/$1" "$tmpdir/$2" >/dev/null; then
+        echo "fleet output differs between serial and sharded runs: $1 vs $2" >&2
+        diff "$tmpdir/$1" "$tmpdir/$2" >&2 || true
+        exit 1
+    fi
+done
+
 echo "ci: all green"
