@@ -7,27 +7,36 @@
 //	fgfleet                        # 100k UEs per mix, all mixes
 //	fgfleet -ues 1000000 -mix mmwave
 //	fgfleet -ues 403 -shards 7 -trace t.json -metrics m.csv
+//	fgfleet -stream -trace t.colf -trace-format colf
+//	fgfleet colf2json t.colf       # decode a colf trace to JSON Lines
 //
 // Flags:
 //
-//	-ues N         population size per mix (default 100000)
-//	-shards N      engine shards (0 = GOMAXPROCS)
-//	-seed N        campaign seed (default 1)
-//	-mix NAME      low-band, mmwave, mixed, or all (default all)
-//	-window S      arrival window in sim seconds (default 600)
-//	-session S     video session length in sim seconds (default 32)
-//	-trace FILE    write sampled per-session trace records (JSON Lines)
-//	-metrics FILE  write population histograms and counters (CSV)
-//	-stats         wall-clock UEs/sec and event counts on stderr
+//	-ues N          population size per mix (default 100000)
+//	-shards N       engine shards (0 = GOMAXPROCS)
+//	-seed N         campaign seed (default 1)
+//	-mix NAME       low-band, mmwave, mixed, or all (default all)
+//	-window S       arrival window in sim seconds (default 600)
+//	-session S      video session length in sim seconds (default 32)
+//	-stream         O(shards) campaign memory: fold sessions into streaming
+//	                shard stats instead of a per-UE results slice
+//	-trace FILE     write sampled per-session trace records to FILE
+//	-trace-format F trace encoding: jsonl (JSON Lines) or colf (columnar
+//	                binary; decode with the colf2json subcommand)
+//	-metrics FILE   write population histograms and counters (CSV)
+//	-stats          wall-clock UEs/sec and event counts on stderr
 //
-// The fleet determinism contract applies: stdout and both artifacts are
-// byte-identical for any -shards value, including 1. Only -stats output
-// (wall-clock) varies between runs.
+// The trace artifact streams to FILE as campaigns merge (Tracer spill), so
+// trace memory is bounded regardless of -ues. The fleet determinism
+// contract applies: stdout and both artifacts are byte-identical for any
+// -shards value, including 1, in both formats and both modes. Only -stats
+// output (wall-clock) varies between runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -35,7 +44,12 @@ import (
 	"fivegsim/internal/experiments"
 	"fivegsim/internal/fleet"
 	"fivegsim/internal/obs"
+	"fivegsim/internal/obs/colf"
 )
+
+// spillRecords is the tracer's bounded-buffer capacity when streaming the
+// trace artifact to disk: one colf block's worth of records.
+const spillRecords = colf.DefaultBlockRecords
 
 func main() {
 	ues := flag.Int("ues", 100000, "population size per mix")
@@ -44,10 +58,25 @@ func main() {
 	mixName := flag.String("mix", "all", "deployment mix: low-band, mmwave, mixed, or all")
 	window := flag.Float64("window", 600, "arrival window (sim seconds)")
 	session := flag.Float64("session", 32, "video session length (sim seconds)")
-	traceOut := flag.String("trace", "", "write sampled per-session trace records (JSON Lines) to this file")
+	stream := flag.Bool("stream", false, "stream mode: O(shards) campaign memory, sketch-based percentiles")
+	traceOut := flag.String("trace", "", "write sampled per-session trace records to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or colf")
 	metricsOut := flag.String("metrics", "", "write population histograms and counters (CSV) to this file")
 	stats := flag.Bool("stats", false, "print wall-clock UEs/sec and event counts to stderr")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		if flag.Arg(0) == "colf2json" {
+			colf2json("fgfleet", flag.Args()[1:])
+			return
+		}
+		fmt.Fprintf(os.Stderr, "fgfleet: unknown argument %q (the only subcommand is colf2json)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if *traceFormat != "jsonl" && *traceFormat != "colf" {
+		fmt.Fprintf(os.Stderr, "fgfleet: -trace-format must be jsonl or colf, got %q\n", *traceFormat)
+		os.Exit(2)
+	}
 
 	mixes := fleet.AllMixes
 	if *mixName != "all" {
@@ -62,6 +91,44 @@ func main() {
 	var root *obs.Obs
 	if *traceOut != "" || *metricsOut != "" {
 		root = obs.New()
+	}
+
+	// Open the trace artifact up front and stream records into it as each
+	// campaign merges: the root tracer spills full buffers through the
+	// encoder, so trace memory stays O(spillRecords) however many records
+	// the campaigns emit. finishTrace drains the tail and closes the file.
+	finishTrace := func() {}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgfleet:", err)
+			os.Exit(1)
+		}
+		var sink obs.RecordSink
+		var closeSink func() error
+		if *traceFormat == "colf" {
+			cw := colf.NewWriter(f)
+			sink = cw.Sink("fleet")
+			closeSink = cw.Close
+		} else {
+			jw := obs.NewTraceJSONWriter(f, "fleet")
+			sink = jw
+			closeSink = jw.Flush
+		}
+		root.Trace().SpillTo(sink, spillRecords)
+		finishTrace = func() {
+			err := root.Trace().FlushSpill()
+			if err == nil {
+				err = closeSink()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fgfleet: writing %s: %v\n", *traceOut, err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	type campaign struct {
@@ -81,6 +148,7 @@ func main() {
 			WindowS:  *window,
 			SessionS: *session,
 			Obs:      sub,
+			Stream:   *stream,
 		})
 		wall := time.Since(start)
 		root.MergeTagged(sub, obs.S("mix", mix.String()))
@@ -88,13 +156,13 @@ func main() {
 		rs = append(rs, r)
 	}
 
-	fmt.Println(experiments.FleetTable(rs))
-
-	if *traceOut != "" {
-		writeArtifact(*traceOut, func(f *os.File) error {
-			return obs.WriteTraceJSON(f, "fleet", root.Trace())
-		})
+	if *stream {
+		fmt.Println(experiments.FleetStreamTable(rs))
+	} else {
+		fmt.Println(experiments.FleetTable(rs))
 	}
+
+	finishTrace()
 	if *metricsOut != "" {
 		writeArtifact(*metricsOut, func(f *os.File) error {
 			return obs.WriteMetricsCSV(f, "fleet", root.Meter())
@@ -108,9 +176,10 @@ func main() {
 		for _, c := range runs {
 			events += c.res.Events
 			wall += c.wall
+			n := campaignUEs(c.res)
 			fmt.Fprintf(w, "%s\t%d\t%v\t%.0f\t%d\n",
-				c.res.Cfg.Mix, len(c.res.UEs), c.wall.Round(time.Millisecond),
-				float64(len(c.res.UEs))/c.wall.Seconds(), c.res.Events)
+				c.res.Cfg.Mix, n, c.wall.Round(time.Millisecond),
+				float64(n)/c.wall.Seconds(), c.res.Events)
 		}
 		fmt.Fprintf(w, "total\t%d\t%v\t%.0f\t%d\n",
 			len(mixes)**ues, wall.Round(time.Millisecond),
@@ -118,6 +187,39 @@ func main() {
 		if err := w.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "fgfleet:", err)
 		}
+	}
+}
+
+// campaignUEs returns the population size of a completed campaign in either
+// mode (the results slice is nil in stream mode).
+func campaignUEs(r *fleet.Result) int {
+	if r.Stream != nil {
+		return int(r.Stream.UEs())
+	}
+	return len(r.UEs)
+}
+
+// colf2json decodes a colf trace artifact back to JSON Lines on stdout:
+// byte-identical to what the jsonl trace format would have written for the
+// same records. "-" (or no argument) reads stdin.
+func colf2json(prog string, args []string) {
+	if len(args) > 1 {
+		fmt.Fprintf(os.Stderr, "usage: %s colf2json [file.colf]  (\"-\" or no argument reads stdin)\n", prog)
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := colf.DecodeToJSON(in, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		os.Exit(1)
 	}
 }
 

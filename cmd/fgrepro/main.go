@@ -7,32 +7,39 @@
 //	fgrepro run fig11 table7     # run specific experiments
 //	fgrepro all                  # run everything
 //	fgrepro all -parallel 0      # run everything on all cores
+//	fgrepro colf2json t.colf     # decode a colf trace to JSON Lines
 //
 // Flags:
 //
-//	-seed N        random seed (default 1)
-//	-quick         reduced repeats for a fast pass
-//	-parallel N    run N experiments concurrently (0 = GOMAXPROCS, 1 = serial)
-//	-stats         per-experiment wall time and event counts on stderr
-//	-trace FILE    write sim-time trace records (JSON Lines) to FILE
-//	-metrics FILE  write the metrics snapshot (CSV) to FILE
+//	-seed N         random seed (default 1)
+//	-quick          reduced repeats for a fast pass
+//	-parallel N     run N experiments concurrently (0 = GOMAXPROCS, 1 = serial)
+//	-stats          per-experiment wall time and event counts on stderr
+//	-trace FILE     write sim-time trace records to FILE
+//	-trace-format F trace encoding: jsonl (JSON Lines) or colf (columnar
+//	                binary; decode with the colf2json subcommand)
+//	-metrics FILE   write the metrics snapshot (CSV) to FILE
 //
 // Output is byte-identical for any -parallel value: experiments fan out
 // over a worker pool but are reassembled in sorted id order, and every
 // experiment is deterministic given -seed. The -trace/-metrics artifacts
 // share that contract — enabling them never changes the tables, and the
-// artifact bytes are identical for any worker count.
+// artifact bytes are identical for any worker count, in either trace
+// format. Decoding a colf trace with colf2json reproduces the jsonl
+// artifact byte for byte.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
 
 	"fivegsim/internal/experiments"
 	"fivegsim/internal/obs"
+	"fivegsim/internal/obs/colf"
 )
 
 func main() {
@@ -40,7 +47,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced repeats for a fast pass")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-experiment wall time and event counts to stderr")
-	traceOut := flag.String("trace", "", "write sim-time trace records (JSON Lines) to this file")
+	traceOut := flag.String("trace", "", "write sim-time trace records to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or colf")
 	metricsOut := flag.String("metrics", "", "write the metrics snapshot (CSV) to this file")
 	flag.Usage = usage
 	flag.Parse()
@@ -56,6 +64,10 @@ func main() {
 	if err := flag.CommandLine.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}
+	if *traceFormat != "jsonl" && *traceFormat != "colf" {
+		fmt.Fprintf(os.Stderr, "fgrepro: -trace-format must be jsonl or colf, got %q\n", *traceFormat)
+		os.Exit(2)
+	}
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	if *traceOut != "" || *metricsOut != "" {
 		// A non-nil collector tells RunMany to hand every experiment its
@@ -69,23 +81,49 @@ func main() {
 			fmt.Println(id)
 		}
 	case "all":
-		runBattery(cfg, experiments.IDs(), *parallel, *stats, *traceOut, *metricsOut)
+		runBattery(cfg, experiments.IDs(), *parallel, *stats, *traceOut, *traceFormat, *metricsOut)
 	case "run":
 		if len(rest) == 0 {
 			fmt.Fprintln(os.Stderr, "fgrepro run: need at least one experiment id")
 			os.Exit(2)
 		}
-		runBattery(cfg, rest, *parallel, *stats, *traceOut, *metricsOut)
+		runBattery(cfg, rest, *parallel, *stats, *traceOut, *traceFormat, *metricsOut)
+	case "colf2json":
+		colf2json(rest)
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
+// colf2json decodes a colf trace artifact back to JSON Lines on stdout:
+// byte-identical to what -trace-format=jsonl would have written for the
+// same records. "-" (or no argument) reads stdin.
+func colf2json(args []string) {
+	if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, `usage: fgrepro colf2json [file.colf]  ("-" or no argument reads stdin)`)
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgrepro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := colf.DecodeToJSON(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fgrepro:", err)
+		os.Exit(1)
+	}
+}
+
 // runBattery executes ids over the worker pool and prints the tables in
 // input order, optionally followed by a per-experiment campaign summary and
 // the trace/metrics artifacts.
-func runBattery(cfg experiments.Config, ids []string, workers int, stats bool, traceOut, metricsOut string) {
+func runBattery(cfg experiments.Config, ids []string, workers int, stats bool, traceOut, traceFormat, metricsOut string) {
 	results, err := experiments.RunMany(cfg, ids, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fgrepro:", err)
@@ -98,6 +136,9 @@ func runBattery(cfg experiments.Config, ids []string, workers int, stats bool, t
 	}
 	if traceOut != "" {
 		writeArtifact(traceOut, func(f *os.File) error {
+			if traceFormat == "colf" {
+				return experiments.WriteTraceColf(f, results)
+			}
 			return experiments.WriteTrace(f, results)
 		})
 	}
@@ -148,13 +189,15 @@ usage:
   fgrepro [flags] list
   fgrepro [flags] run <id>...
   fgrepro [flags] all
+  fgrepro colf2json [file.colf]
 
 flags:
-  -seed N        random seed (default 1)
-  -quick         reduced repeats for a fast pass
-  -parallel N    experiments to run concurrently (0 = GOMAXPROCS, 1 = serial)
-  -stats         per-experiment wall time and event counts on stderr
-  -trace FILE    write sim-time trace records (JSON Lines) to FILE
-  -metrics FILE  write the metrics snapshot (CSV) to FILE
+  -seed N         random seed (default 1)
+  -quick          reduced repeats for a fast pass
+  -parallel N     experiments to run concurrently (0 = GOMAXPROCS, 1 = serial)
+  -stats          per-experiment wall time and event counts on stderr
+  -trace FILE     write sim-time trace records to FILE
+  -trace-format F trace encoding: jsonl or colf (default jsonl)
+  -metrics FILE   write the metrics snapshot (CSV) to FILE
 `)
 }

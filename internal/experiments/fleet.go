@@ -58,6 +58,46 @@ func FleetTable(rs []*fleet.Result) *Table {
 	return t
 }
 
+// FleetStreamTable is FleetTable's stream-mode counterpart: the same rows
+// rendered from each campaign's merged ShardStats — integer-accumulated
+// means, sketch-estimated percentiles — instead of per-UE extracts. When
+// the population fits the sketch (UEs <= Config.SketchK) the bottom-k
+// sample is the whole population and the percentile cells match
+// FleetTable's exactly.
+func FleetStreamTable(rs []*fleet.Result) *Table {
+	t := &Table{
+		ID:     "fleet",
+		Title:  "City-scale population campaign: QoE/power/throughput CDFs by band mix",
+		Header: []string{"mix", "metric", "p5", "p25", "p50", "p75", "p95", "mean"},
+	}
+	for _, r := range rs {
+		mix := r.Cfg.Mix.String()
+		for _, s := range r.Stream.Summaries() {
+			t.AddRow(mix, streamMetricLabel(s.Name),
+				f1(s.P5), f1(s.P25), f1(s.P50), f1(s.P75), f1(s.P95), f1(s.Mean))
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %d UEs, %s of chunks on NR",
+			mix, r.Stream.UEs(), pct(100*r.Stream.NRShare())))
+	}
+	return t
+}
+
+// streamMetricLabel maps ShardStats summary names onto FleetTable's metric
+// column so the two tables line up row for row.
+func streamMetricLabel(name string) string {
+	switch name {
+	case "tput_mbps":
+		return "tput Mbps"
+	case "qoe":
+		return "QoE/chunk"
+	case "energy_j":
+		return "energy J"
+	case "stall_s":
+		return "stall s"
+	}
+	return name
+}
+
 func addCDFRow(t *Table, mix, metric string, xs []float64) {
 	sorted := stats.SortN(mustFinite("fleet "+mix+" "+metric, xs))
 	t.AddRow(mix, metric,

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"fivegsim/internal/obs"
+	"fivegsim/internal/obs/colf"
 )
 
 // WriteTrace writes the battery's merged trace artifact: each result's
@@ -18,6 +19,24 @@ func WriteTrace(w io.Writer, results []Result) error {
 		}
 	}
 	return nil
+}
+
+// WriteTraceColf writes the battery's trace artifact in colf binary form:
+// the exact (scope, record) sequence WriteTrace renders as JSON Lines,
+// encoded through one colf.Writer so blocks can span experiment boundaries.
+// The bytes depend only on that sequence — not on worker count or batch
+// timing — and colf.DecodeToJSON recovers WriteTrace's output byte for byte.
+func WriteTraceColf(w io.Writer, results []Result) error {
+	cw := colf.NewWriter(w)
+	for _, r := range results {
+		recs := r.Obs.Trace().Records()
+		for i := range recs {
+			if err := cw.Add(r.ID, recs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Close()
 }
 
 // WriteMetrics writes the battery's merged metrics artifact: one CSV header

@@ -20,6 +20,26 @@ func BenchmarkFleetCampaign(b *testing.B) {
 	b.ReportMetric(float64(ues)*float64(b.N)/b.Elapsed().Seconds(), "UEs/s")
 }
 
+// BenchmarkFleetStreamCampaign is BenchmarkFleetCampaign in stream mode:
+// same simulated work, but campaign memory is O(shards) (histogram
+// shadows, bounded sketches, ~512 sampled sessions) instead of an O(UEs)
+// results slice. The bytes/UE metric prices the retained reduction state
+// per simulated session.
+func BenchmarkFleetStreamCampaign(b *testing.B) {
+	const ues = 8192
+	cfg := Config{Seed: 1, UEs: ues, Shards: 1, Mix: MixMixed, Stream: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = Run(cfg)
+	}
+	b.ReportMetric(float64(ues)*float64(b.N)/b.Elapsed().Seconds(), "UEs/s")
+	retained := res.Stream.skTput.Len()*24*4 + len(res.Stream.sampled)*72 +
+		4*(len(tputBounds)+len(qoeBounds)+len(energyBounds)+len(stallBounds))*8
+	b.ReportMetric(float64(retained)/float64(ues), "retained_B/UE")
+}
+
 // steadyShard builds a shard at fleet fan-in size, admits the whole
 // population, and steps past the warm-up so slab, freelist, calendar, and
 // per-UE transport state are all at steady state: every further Step is one

@@ -55,6 +55,16 @@ type Config struct {
 	// TraceEvery samples every k-th UE for a per-session trace record;
 	// 0 derives a stride targeting ~512 records per campaign.
 	TraceEvery int
+	// Stream, when true, drops the O(UEs) results slice: shards fold
+	// finished sessions into ShardStats as they go and the campaign keeps
+	// O(shards) state (see stream.go). Result.UEs is nil and Result.Stream
+	// holds the merged stats; the trace artifact is byte-identical to
+	// exact mode, and all obs artifacts remain byte-identical across
+	// shard counts.
+	Stream bool
+	// SketchK is the per-metric quantile sketch size in stream mode;
+	// <= 0 means DefaultSketchK.
+	SketchK int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,11 +97,14 @@ type UEResult struct {
 	NRChunks  int32 // chunks served over an NR layer (vs LTE fallback)
 }
 
-// Result is a completed campaign.
+// Result is a completed campaign. Exactly one of UEs and Stream is
+// populated: per-UE results in exact mode, merged streaming stats in
+// stream mode.
 type Result struct {
 	Cfg    Config
-	UEs    []UEResult // indexed by UE id
-	Events uint64     // calendar events across all shards
+	UEs    []UEResult  // indexed by UE id; nil in stream mode
+	Stream *ShardStats // merged streaming stats; nil in exact mode
+	Events uint64      // calendar events across all shards
 }
 
 // Extraction helpers for the population CDFs. Each returns a fresh slice in
@@ -164,8 +177,18 @@ func Partition(n, shards int) []Range {
 func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	dep := newDeployment(cfg.Mix, cfg.RouteKm)
-	results := make([]UEResult, cfg.UEs)
+	var results []UEResult
+	var shardStats []*ShardStats
 	ranges := Partition(cfg.UEs, cfg.Shards)
+	if cfg.Stream {
+		// O(shards) memory: no results slice, one ShardStats per shard.
+		shardStats = make([]*ShardStats, len(ranges))
+		for si := range shardStats {
+			shardStats[si] = newShardStats(cfg)
+		}
+	} else {
+		results = make([]UEResult, cfg.UEs)
+	}
 	events := make([]uint64, len(ranges))
 	var wg sync.WaitGroup
 	for si, rg := range ranges {
@@ -173,9 +196,14 @@ func Run(cfg Config) *Result {
 		go func(si int, rg Range) {
 			defer wg.Done()
 			// Each shard goroutine gets its own engine and event
-			// counter; shards touch only results[rg.Lo:rg.Hi].
+			// counter; shards touch only results[rg.Lo:rg.Hi] (exact
+			// mode) or their private shardStats[si] (stream mode).
 			events[si] = sim.CountEvents(func() {
-				newShard(cfg, dep, rg.Lo, rg.Hi, results).run()
+				sh := newShard(cfg, dep, rg.Lo, rg.Hi, results)
+				if cfg.Stream {
+					sh.stats = shardStats[si]
+				}
+				sh.run()
 			})
 		}(si, rg)
 	}
@@ -183,6 +211,22 @@ func Run(cfg Config) *Result {
 	res := &Result{Cfg: cfg, UEs: results}
 	for _, e := range events {
 		res.Events += e
+	}
+	if cfg.Stream {
+		// Merge in shard order. The order is fixed for determinism's
+		// sake, but nothing depends on it: every merged component is
+		// order-invariant (see stream.go).
+		merged := newShardStats(cfg)
+		for _, st := range shardStats {
+			if err := merged.merge(st); err != nil {
+				// Unreachable: all shard sketches share cfg-derived
+				// geometry. Fail loudly rather than drop a shard.
+				panic(err)
+			}
+		}
+		res.Stream = merged
+		streamReduce(cfg, res)
+		return res
 	}
 	reduce(cfg, res)
 	return res

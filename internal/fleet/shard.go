@@ -20,7 +20,8 @@ type shard struct {
 	dep     *deployment
 	eng     *sim.Engine
 	slab    slab
-	results []UEResult // campaign-wide; this shard writes [lo, hi) only
+	results []UEResult  // campaign-wide; this shard writes [lo, hi) only
+	stats   *ShardStats // stream mode: per-shard fold target (results is nil)
 
 	arrivals []arrival
 	next     int
@@ -64,7 +65,7 @@ func (sh *shard) prepare() {
 	sh.eng = sim.NewEngine()
 	sh.admit = func() { sh.admitDue() }
 	if len(sh.arrivals) > 0 {
-		sh.eng.Schedule(sh.arrivals[0].at, sh.admit)
+		sh.eng.At(sh.arrivals[0].at, sh.admit)
 	}
 }
 
@@ -77,14 +78,23 @@ func (sh *shard) run() {
 // admitDue starts every UE whose arrival time has come, then re-arms for
 // the next arrival. Lazy admission keeps the calendar and the slab sized to
 // peak concurrency instead of the whole population.
+//
+// The re-arm must use absolute time (At, not Schedule): each UE has to be
+// admitted at exactly its arrival float. Relative scheduling computes
+// now+(at-now), which drifts by an ulp depending on the preceding arrivals
+// in this shard — making a UE's admission time, and every event time in
+// its session chain, depend on the partition. Exact-time admission also
+// needs no coalescing epsilon; an epsilon would fold near-simultaneous
+// arrivals onto one instant only when they happen to share a shard, which
+// is the same partition dependence in another form.
 func (sh *shard) admitDue() {
 	now := sh.eng.Now()
-	for sh.next < len(sh.arrivals) && sh.arrivals[sh.next].at <= now+1e-9 {
+	for sh.next < len(sh.arrivals) && sh.arrivals[sh.next].at <= now {
 		sh.start(sh.arrivals[sh.next].ue)
 		sh.next++
 	}
 	if sh.next < len(sh.arrivals) {
-		sh.eng.Schedule(sh.arrivals[sh.next].at-now, sh.admit)
+		sh.eng.At(sh.arrivals[sh.next].at, sh.admit)
 	}
 }
 
@@ -313,7 +323,7 @@ func (sh *shard) finalize(i int32) {
 	if s.activeS[i] > 0 {
 		mean = s.mb[i] / s.activeS[i]
 	}
-	sh.results[s.ue[i]] = UEResult{
+	u := UEResult{
 		ArrivalS:  s.arrive[i],
 		DurationS: sh.eng.Now() - s.arrive[i],
 		MeanMbps:  mean,
@@ -323,6 +333,11 @@ func (sh *shard) finalize(i int32) {
 		EnergyJ:   s.energyJ[i],
 		Chunks:    chunks,
 		NRChunks:  s.nr[i],
+	}
+	if sh.stats != nil {
+		sh.stats.observe(int(s.ue[i]), u)
+	} else {
+		sh.results[s.ue[i]] = u
 	}
 	s.release(i)
 }

@@ -1,0 +1,58 @@
+// Package colfenc is a maporder fixture shaped like a columnar block
+// encoder: a string-interning dictionary held as a map, flushed when the
+// block fills. Writing the dictionary section by ranging over the intern
+// map is the forbidden shape — the artifact bytes would depend on map
+// layout; the accepted idiom keeps a parallel first-reference-order slice
+// and writes from that.
+package colfenc
+
+// Encoder interns strings into per-block dictionary ids.
+type Encoder struct {
+	dict  map[string]uint64
+	order []string
+	out   []byte
+}
+
+// Intern returns s's block-local id, assigning ids in first-reference
+// order and recording the order in a slice for flush time.
+func (e *Encoder) Intern(s string) uint64 {
+	if id, ok := e.dict[s]; ok {
+		return id
+	}
+	id := uint64(len(e.order))
+	e.dict[s] = id
+	e.order = append(e.order, s)
+	return id
+}
+
+// FlushUnsorted writes the dictionary section by ranging over the intern
+// map: the encoded bytes change per run.
+func (e *Encoder) FlushUnsorted() {
+	for s, id := range e.dict { // want: maporder
+		e.out = append(e.out, byte(id))
+		e.out = append(e.out, s...)
+	}
+}
+
+// FlushHarvested extracts the entries but never sorts them, which is the
+// same nondeterminism one hop later.
+func (e *Encoder) FlushHarvested() {
+	var entries []string
+	for s := range e.dict { // want: maporder (never sorted)
+		entries = append(entries, s)
+	}
+	for _, s := range entries {
+		e.out = append(e.out, byte(e.dict[s]))
+		e.out = append(e.out, s...)
+	}
+}
+
+// Flush is the accepted idiom: iterate the first-reference-order slice and
+// use the map only for lookups, so the section bytes are a pure function
+// of the intern sequence.
+func (e *Encoder) Flush() {
+	for _, s := range e.order {
+		e.out = append(e.out, byte(e.dict[s]))
+		e.out = append(e.out, s...)
+	}
+}

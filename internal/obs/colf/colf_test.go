@@ -1,0 +1,315 @@
+package colf
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"fivegsim/internal/obs"
+)
+
+// TestZigzagBoundaries pins the zigzag transform at its edges: 0, ±1, and
+// the extreme deltas a float64 bit-difference can produce.
+func TestZigzagBoundaries(t *testing.T) {
+	cases := []struct {
+		v int64
+		u uint64
+	}{
+		{0, 0},
+		{-1, 1},
+		{1, 2},
+		{-2, 3},
+		{2, 4},
+		{math.MaxInt64, math.MaxUint64 - 1},
+		{math.MinInt64, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := zigzag(c.v); got != c.u {
+			t.Errorf("zigzag(%d) = %d, want %d", c.v, got, c.u)
+		}
+		if got := unzigzag(c.u); got != c.v {
+			t.Errorf("unzigzag(%d) = %d, want %d", c.u, got, c.v)
+		}
+	}
+	// Exhaustive inversion over a signed sweep around zero.
+	for v := int64(-1000); v <= 1000; v++ {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("unzigzag(zigzag(%d)) = %d", v, got)
+		}
+	}
+}
+
+// TestXorShiftBoundaries pins the xor-word packing at its edges: the
+// smallest and largest packable residuals, sign-bit-only and low-bit-only
+// residuals, and the wide residuals that must take the raw escape because
+// their significant bits collide with the 6-bit shift count.
+func TestXorShiftBoundaries(t *testing.T) {
+	fits := []struct {
+		u uint64
+		w uint64
+	}{
+		{1, 1<<6 | 0},                        // lowest bit only
+		{1 << 63, 1<<6 | 63},                 // sign bit only
+		{0b1010 << 8, 0b101<<6 | 9},          // sparse low bits
+		{1<<58 - 1, (1<<58 - 1) << 6},        // widest packable, tz=0
+		{(1<<58 - 1) << 6, (1<<58-1)<<6 | 6}, // widest packable, tz=6
+	}
+	for _, c := range fits {
+		if !xorShiftFits(c.u) {
+			t.Fatalf("xorShiftFits(%#x) = false, want true", c.u)
+		}
+		if got := xorShift(c.u); got != c.w {
+			t.Errorf("xorShift(%#x) = %#x, want %#x", c.u, got, c.w)
+		}
+		if got := unXorShift(xorShift(c.u)); got != c.u {
+			t.Errorf("unXorShift(xorShift(%#x)) = %#x", c.u, got)
+		}
+	}
+	for _, u := range []uint64{1<<59 - 1, ^uint64(0), ^uint64(0) >> 5, 1<<58 | 1} {
+		if xorShiftFits(u) {
+			t.Errorf("xorShiftFits(%#x) = true, want false (raw escape)", u)
+		}
+	}
+	// Every word an encoder can emit is >= xwMin, so the reference codes
+	// below it can never collide with a packed residual.
+	for _, u := range []uint64{1, 2, 63, 64, 1 << 57, 1 << 63} {
+		if w := xorShift(u); w < xwMin {
+			t.Errorf("xorShift(%#x) = %d, below reserved-code ceiling %d", u, w, xwMin)
+		}
+	}
+}
+
+// boundaryFloats are the numeric values whose bit patterns stress the
+// delta chains: zero and negative zero (sign-bit-only delta = MinInt64),
+// denormals, extremes, and the non-finite values.
+var boundaryFloats = []float64{
+	0, math.Copysign(0, -1),
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	1, -1, 1.5, -2.25,
+	math.MaxFloat64, -math.MaxFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.Pi, 1e-300, 1e300,
+}
+
+// testCorpus builds a deterministic record sequence shaped like the real
+// battery trace (repeating span shapes, slowly advancing timestamps,
+// enum-ish string fields) salted with every boundary float.
+func testCorpus() ([]string, []obs.Record) {
+	var scopes []string
+	var recs []obs.Record
+	subs := []string{"rrc", "transport", "abr", "fleet"}
+	names := []string{"transition", "loss", "chunk", "session"}
+	at := 0.0
+	for i := 0; i < 700; i++ {
+		at += 0.25 + float64(i%7)*0.125
+		r := obs.Span(at, float64(i%5)*0.5, subs[i%len(subs)], names[i%len(names)]).
+			With(obs.F("idx", float64(i))).
+			With(obs.F("v", boundaryFloats[i%len(boundaryFloats)])).
+			With(obs.S("mix", []string{"low-band", "mmwave", ""}[i%3]))
+		if i%4 == 0 {
+			r = r.With(obs.F("cwnd", float64(10+i%3)))
+		}
+		scopes = append(scopes, []string{"fig17", "fleet"}[i%2])
+		recs = append(recs, r)
+	}
+	// A record with no fields, and one with the full field complement.
+	scopes = append(scopes, "edge")
+	recs = append(recs, obs.Ev(at, "s", "bare"))
+	full := obs.Ev(at+1, "s", "full")
+	for i := 0; i < 8; i++ {
+		full = full.With(obs.F("k", float64(i)))
+	}
+	scopes = append(scopes, "edge")
+	recs = append(recs, full)
+	return scopes, recs
+}
+
+func encode(t *testing.T, scopes []string, recs []obs.Record, blockRecs int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriterSize(&buf, blockRecs)
+	for i := range recs {
+		if err := w.Add(scopes[i], recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decode(t *testing.T, enc []byte) ([]string, []obs.Record) {
+	t.Helper()
+	r := NewReader(bytes.NewReader(enc))
+	var scopes []string
+	var recs []obs.Record
+	for {
+		scope, rec, err := r.Next()
+		if err == io.EOF {
+			return scopes, recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		scopes = append(scopes, scope)
+		recs = append(recs, rec)
+	}
+}
+
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestRoundTrip: every record, including non-finite and boundary values,
+// comes back bit-exact, across multi-block and single-block encodings.
+func TestRoundTrip(t *testing.T) {
+	scopes, recs := testCorpus()
+	for _, blockRecs := range []int{1, 7, 64, DefaultBlockRecords} {
+		enc := encode(t, scopes, recs, blockRecs)
+		gotScopes, gotRecs := decode(t, enc)
+		if len(gotRecs) != len(recs) {
+			t.Fatalf("blockRecs=%d: decoded %d records, want %d", blockRecs, len(gotRecs), len(recs))
+		}
+		for i := range recs {
+			if gotScopes[i] != scopes[i] {
+				t.Fatalf("blockRecs=%d rec %d: scope %q, want %q", blockRecs, i, gotScopes[i], scopes[i])
+			}
+			a, b := &recs[i], &gotRecs[i]
+			if !sameFloat(a.At, b.At) || !sameFloat(a.Dur, b.Dur) ||
+				a.Sub != b.Sub || a.Name != b.Name {
+				t.Fatalf("blockRecs=%d rec %d header mismatch: %+v vs %+v", blockRecs, i, a, b)
+			}
+			fa, fb := a.Fields(), b.Fields()
+			if len(fa) != len(fb) {
+				t.Fatalf("blockRecs=%d rec %d: %d fields, want %d", blockRecs, i, len(fb), len(fa))
+			}
+			for j := range fa {
+				if fa[j].Key != fb[j].Key || fa[j].Kind != fb[j].Kind ||
+					fa[j].Str != fb[j].Str || !sameFloat(fa[j].Num, fb[j].Num) {
+					t.Fatalf("blockRecs=%d rec %d field %d: %+v vs %+v", blockRecs, i, j, fa[j], fb[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBytesIndependentOfBatching: the encoded bytes are a function of the
+// record sequence alone — Add-ing one at a time, via the Sink adapter in
+// ragged batches, or re-encoding the same sequence again all yield
+// identical artifacts. This is the property that extends the shard-count
+// byte-identity contract to colf.
+func TestBytesIndependentOfBatching(t *testing.T) {
+	scopes, recs := testCorpus()
+	// colf scopes vary per record in this corpus; pin one scope so the
+	// Sink path (scope-fixed) is comparable.
+	for i := range scopes {
+		scopes[i] = "fleet"
+	}
+	direct := encode(t, scopes, recs, 64)
+	again := encode(t, scopes, recs, 64)
+	if !bytes.Equal(direct, again) {
+		t.Fatal("re-encoding the same sequence produced different bytes")
+	}
+
+	var buf bytes.Buffer
+	w := NewWriterSize(&buf, 64)
+	sink := w.Sink("fleet")
+	for lo := 0; lo < len(recs); {
+		hi := lo + 1 + lo%13 // ragged batch sizes
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if err := sink.WriteRecords(recs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), direct) {
+		t.Fatal("sink batching changed the encoded bytes")
+	}
+}
+
+// TestDecodeToJSONMatchesDirectJSONL: colf2json output must be
+// byte-identical to the JSONL the legacy path writes for the same records.
+// The battery writes contiguous per-experiment runs, so group the corpus
+// by scope the same way, write each group with WriteTraceJSON, and compare
+// against decoding a colf artifact of the same sequence.
+func TestDecodeToJSONMatchesDirectJSONL(t *testing.T) {
+	scopes, recs := testCorpus()
+	var want bytes.Buffer
+	var ordScopes []string
+	var ordRecs []obs.Record
+	for _, scope := range []string{"fig17", "fleet", "edge"} {
+		tr := obs.NewTracer()
+		for i := range recs {
+			if scopes[i] == scope {
+				tr.Emit(recs[i])
+				ordScopes = append(ordScopes, scope)
+				ordRecs = append(ordRecs, recs[i])
+			}
+		}
+		if err := obs.WriteTraceJSON(&want, scope, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc := encode(t, ordScopes, ordRecs, 64)
+	var got bytes.Buffer
+	if err := DecodeToJSON(bytes.NewReader(enc), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("decoded JSONL differs from direct JSONL:\nfirst lines got:  %s\nfirst lines want: %s",
+			firstLines(got.String()), firstLines(want.String()))
+	}
+}
+
+func firstLines(s string) string {
+	lines := strings.SplitN(s, "\n", 4)
+	if len(lines) > 3 {
+		lines = lines[:3]
+	}
+	return strings.Join(lines, " | ")
+}
+
+// TestEmptyArtifact: zero records still form a valid stream (magic only).
+func TestEmptyArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != magic {
+		t.Fatalf("empty artifact = %q, want bare magic", buf.String())
+	}
+	scopes, recs := decode(t, buf.Bytes())
+	if len(scopes) != 0 || len(recs) != 0 {
+		t.Fatalf("decoded %d records from an empty artifact", len(recs))
+	}
+}
+
+// TestCorruptInputFails: truncation and bad magic produce errors, not
+// silent partial decodes.
+func TestCorruptInputFails(t *testing.T) {
+	scopes, recs := testCorpus()
+	enc := encode(t, scopes, recs, 64)
+
+	r := NewReader(bytes.NewReader(enc[:len(enc)-10]))
+	var err error
+	for err == nil {
+		_, _, err = r.Next()
+	}
+	if err == io.EOF {
+		t.Fatal("truncated stream decoded cleanly")
+	}
+
+	bad := append([]byte("NOPE"), enc[4:]...)
+	if _, _, err := NewReader(bytes.NewReader(bad)).Next(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

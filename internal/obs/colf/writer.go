@@ -1,0 +1,230 @@
+package colf
+
+import (
+	"bufio"
+	"io"
+	"math"
+
+	"fivegsim/internal/obs"
+)
+
+// Writer encodes scoped trace records into colf blocks. Records buffer
+// until the block threshold and are then encoded and written, so encoder
+// memory is O(block), not O(events). The bytes produced depend only on the
+// (scope, record) sequence handed to Add — never on batch boundaries,
+// host, or timing — which is what lets the shard/worker byte-identity
+// contract extend to binary artifacts.
+type Writer struct {
+	bw        *bufio.Writer
+	blockRecs int
+
+	scopes []string
+	recs   []obs.Record
+
+	// per-block encoder state, reset by flushBlock
+	dict      map[string]uint64
+	dictOrder []string
+	sections  [nSections][]byte
+	lastNum   map[uint64]uint64 // field-key dict id -> last value bits
+	shapeBuf  []byte            // scratch for the current record's field shape
+
+	payload    []byte
+	frame      []byte
+	wroteMagic bool
+	err        error
+}
+
+// NewWriter returns a Writer flushing every DefaultBlockRecords records.
+func NewWriter(w io.Writer) *Writer { return NewWriterSize(w, DefaultBlockRecords) }
+
+// NewWriterSize returns a Writer with an explicit records-per-block
+// threshold (minimum 1). Different thresholds produce different (equally
+// valid) byte streams; determinism contracts compare artifacts encoded at
+// the same threshold.
+func NewWriterSize(w io.Writer, blockRecs int) *Writer {
+	if blockRecs < 1 {
+		blockRecs = 1
+	}
+	return &Writer{
+		bw:        bufio.NewWriter(w),
+		blockRecs: blockRecs,
+		dict:      make(map[string]uint64),
+		lastNum:   make(map[uint64]uint64),
+	}
+}
+
+// Add buffers one scoped record, encoding a block when the threshold is
+// reached. It returns the writer's first error; once failed, every later
+// Add returns the same error and encodes nothing.
+func (w *Writer) Add(scope string, r obs.Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.scopes = append(w.scopes, scope)
+	w.recs = append(w.recs, r)
+	if len(w.recs) >= w.blockRecs {
+		w.flushBlock()
+	}
+	return w.err
+}
+
+// WriteRecords makes a scope-fixed Writer view usable as an obs.RecordSink
+// — see Sink.
+type scopedSink struct {
+	w     *Writer
+	scope string
+}
+
+func (s scopedSink) WriteRecords(recs []obs.Record) error {
+	for i := range recs {
+		if err := s.w.Add(s.scope, recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sink returns an obs.RecordSink that Adds every flushed record under the
+// given scope — the adapter that plugs a colf Writer into Tracer.SpillTo.
+func (w *Writer) Sink(scope string) obs.RecordSink { return scopedSink{w: w, scope: scope} }
+
+// Flush encodes any buffered records as a final (possibly short) block and
+// drains the underlying buffered writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.recs) > 0 {
+		w.flushBlock()
+	}
+	if w.err == nil && !w.wroteMagic {
+		// An empty artifact is still a valid colf stream: magic, no blocks.
+		w.writeMagic()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Close is Flush; colf streams need no trailer.
+func (w *Writer) Close() error { return w.Flush() }
+
+func (w *Writer) writeMagic() {
+	if _, err := w.bw.WriteString(magic); err != nil {
+		w.err = err
+		return
+	}
+	w.wroteMagic = true
+}
+
+// intern returns the block-local dictionary id for s, assigning ids in
+// first-reference order. The dictionary section is later written from
+// dictOrder — the ordered slice — so the bytes never depend on map layout.
+func (w *Writer) intern(s string) uint64 {
+	if id, ok := w.dict[s]; ok {
+		return id
+	}
+	id := uint64(len(w.dictOrder))
+	w.dict[s] = id
+	w.dictOrder = append(w.dictOrder, s)
+	return id
+}
+
+// internBytes interns a byte-string (a field shape) without allocating on
+// the repeat-lookup path — the compiler elides the string conversion in
+// the map index expression.
+func (w *Writer) internBytes(b []byte) uint64 {
+	if id, ok := w.dict[string(b)]; ok {
+		return id
+	}
+	return w.intern(string(b))
+}
+
+// flushBlock encodes the buffered records as one self-contained block and
+// resets the buffer and all per-block state.
+func (w *Writer) flushBlock() {
+	if !w.wroteMagic {
+		w.writeMagic()
+		if w.err != nil {
+			return
+		}
+	}
+
+	for i := range w.sections {
+		w.sections[i] = w.sections[i][:0]
+	}
+	clear(w.dict)
+	w.dictOrder = w.dictOrder[:0]
+	clear(w.lastNum)
+
+	var lastAt, lastDur uint64
+	for i := range w.recs {
+		r := &w.recs[i]
+		w.sections[secExp] = appendUvarint(w.sections[secExp], w.intern(w.scopes[i]))
+
+		atBits := math.Float64bits(r.At)
+		w.sections[secAt] = appendXorWord(w.sections[secAt], atBits, lastAt, xwAtRaw)
+		lastAt = atBits
+
+		durBits := math.Float64bits(r.Dur)
+		w.sections[secDur] = appendUvarint(w.sections[secDur], zigzag(int64(durBits-lastDur)))
+		lastDur = durBits
+
+		w.sections[secSub] = appendUvarint(w.sections[secSub], w.intern(r.Sub))
+		w.sections[secName] = appendUvarint(w.sections[secName], w.intern(r.Name))
+
+		w.shapeBuf = w.shapeBuf[:0]
+		for _, f := range r.Fields() {
+			key := w.intern(f.Key)
+			if f.Kind == obs.KindStr {
+				w.shapeBuf = appendUvarint(w.shapeBuf, key<<1|fkStr)
+				w.sections[secFVal] = appendUvarint(w.sections[secFVal], w.intern(f.Str))
+				continue
+			}
+			w.shapeBuf = appendUvarint(w.shapeBuf, key<<1|fkNum)
+			bits := math.Float64bits(f.Num)
+			prev := w.lastNum[key]
+			switch {
+			case bits == prev:
+				w.sections[secFVal] = append(w.sections[secFVal], xwRepeat)
+			case bits == durBits:
+				w.sections[secFVal] = appendUvarint(w.sections[secFVal], xwNumDur)
+			case bits == atBits:
+				w.sections[secFVal] = appendUvarint(w.sections[secFVal], xwNumAt)
+			default:
+				w.sections[secFVal] = appendXorWord(w.sections[secFVal], bits, prev, xwNumRaw)
+			}
+			w.lastNum[key] = bits
+		}
+		w.sections[secShape] = appendUvarint(w.sections[secShape], w.internBytes(w.shapeBuf))
+	}
+
+	// Assemble the payload: record count, dictionary, then the length-
+	// prefixed sections (iterating dictOrder, never the intern map).
+	w.payload = appendUvarint(w.payload[:0], uint64(len(w.recs)))
+	w.payload = appendUvarint(w.payload, uint64(len(w.dictOrder)))
+	for _, s := range w.dictOrder {
+		w.payload = appendUvarint(w.payload, uint64(len(s)))
+		w.payload = append(w.payload, s...)
+	}
+	for i := range w.sections {
+		w.payload = appendUvarint(w.payload, uint64(len(w.sections[i])))
+		w.payload = append(w.payload, w.sections[i]...)
+	}
+
+	w.frame = appendUvarint(w.frame[:0], uint64(len(w.payload)))
+	if _, err := w.bw.Write(w.frame); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.bw.Write(w.payload); err != nil {
+		w.err = err
+		return
+	}
+	w.scopes = w.scopes[:0]
+	w.recs = w.recs[:0]
+}

@@ -2,7 +2,10 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -164,6 +167,168 @@ func TestWriteMetricsCSVShape(t *testing.T) {
 		if lines[i] != want[i] {
 			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
 		}
+	}
+}
+
+// TestFieldKinds pins the explicit kind bit: an empty string field renders
+// as "" (not the number 0), and a numeric zero renders as 0 (not "").
+func TestFieldKinds(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(Ev(1, "s", "e").With(S("carrier", "")).With(F("zero", 0)))
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, "", tr); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"at":1,"sub":"s","name":"e","carrier":"","zero":0}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("line = %q, want %q", buf.String(), want)
+	}
+	if F("k", 1).Kind != KindNum || S("k", "v").Kind != KindStr {
+		t.Fatal("F/S constructors set the wrong kind")
+	}
+}
+
+// TestNonFiniteJSONRoundTrip asserts every trace line stays valid JSON when
+// records carry non-finite values, and that the quoted tokens round-trip
+// through strconv.ParseFloat to the original values.
+func TestNonFiniteJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(Ev(0.5, "s", "e").
+		With(F("pinf", math.Inf(1))).
+		With(F("ninf", math.Inf(-1))).
+		With(F("nan", math.NaN())).
+		With(F("fin", 1.25)))
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, "x", tr); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimRight(buf.String(), "\n")
+	if !json.Valid([]byte(line)) {
+		t.Fatalf("trace line is not valid JSON: %q", line)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	parse := func(key string) float64 {
+		t.Helper()
+		s, ok := obj[key].(string)
+		if !ok {
+			t.Fatalf("%s decoded as %T, want quoted string", key, obj[key])
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("ParseFloat(%q): %v", s, err)
+		}
+		return v
+	}
+	if v := parse("pinf"); !math.IsInf(v, 1) {
+		t.Fatalf("pinf round-tripped to %v", v)
+	}
+	if v := parse("ninf"); !math.IsInf(v, -1) {
+		t.Fatalf("ninf round-tripped to %v", v)
+	}
+	if v := parse("nan"); !math.IsNaN(v) {
+		t.Fatalf("nan round-tripped to %v", v)
+	}
+	if v, ok := obj["fin"].(float64); !ok || v != 1.25 {
+		t.Fatalf("finite value decoded as %v (%T), want 1.25", obj["fin"], obj["fin"])
+	}
+}
+
+// recordingSink captures spilled batches for the spill-contract tests.
+type recordingSink struct {
+	batches [][]Record
+	err     error
+}
+
+func (s *recordingSink) WriteRecords(recs []Record) error {
+	cp := make([]Record, len(recs))
+	copy(cp, recs)
+	s.batches = append(s.batches, cp)
+	return s.err
+}
+
+// TestSpillBoundedBuffer pins the spill contract: the buffer never exceeds
+// its capacity, batches arrive in emission order, and FlushSpill drains the
+// tail.
+func TestSpillBoundedBuffer(t *testing.T) {
+	sink := &recordingSink{}
+	tr := NewTracer()
+	tr.SpillTo(sink, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Ev(float64(i), "s", "e"))
+		if tr.Len() > 4 {
+			t.Fatalf("buffer grew to %d records past the spill cap", tr.Len())
+		}
+	}
+	if err := tr.FlushSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Spilled() != 10 {
+		t.Fatalf("spilled = %d, want 10", tr.Spilled())
+	}
+	var got []float64
+	for _, b := range sink.batches {
+		for _, r := range b {
+			got = append(got, r.At)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("sink saw %d records, want 10", len(got))
+	}
+	for i, at := range got {
+		if at != float64(i) {
+			t.Fatalf("record %d arrived out of order (at=%v)", i, at)
+		}
+	}
+}
+
+// TestSpillStreamedBytesMatchBuffered: spilling through a TraceJSONWriter
+// yields byte-identical output to buffering everything and writing once.
+func TestSpillStreamedBytesMatchBuffered(t *testing.T) {
+	emit := func(tr *Tracer) {
+		for i := 0; i < 23; i++ {
+			tr.Emit(Span(float64(i), 0.5, "fleet", "session").
+				With(F("ue", float64(i))).
+				With(S("mix", "mmwave")))
+		}
+	}
+	buffered := NewTracer()
+	emit(buffered)
+	var want bytes.Buffer
+	if err := WriteTraceJSON(&want, "fleet", buffered); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	jw := NewTraceJSONWriter(&got, "fleet")
+	streaming := NewTracer()
+	streaming.SpillTo(jw, 5)
+	emit(streaming)
+	if err := streaming.FlushSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("streamed JSONL differs from buffered:\n%s\nvs\n%s", got.String(), want.String())
+	}
+}
+
+// TestSpillErrorSurfaces: a failing sink must fail FlushSpill, never
+// silently truncate the artifact.
+func TestSpillErrorSurfaces(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	sink := &recordingSink{err: sinkErr}
+	tr := NewTracer()
+	tr.SpillTo(sink, 2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Ev(float64(i), "s", "e"))
+	}
+	if err := tr.FlushSpill(); !errors.Is(err, sinkErr) {
+		t.Fatalf("FlushSpill() = %v, want %v", err, sinkErr)
 	}
 }
 

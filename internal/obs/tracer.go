@@ -23,19 +23,33 @@ package obs
 // fit after the four or so fields a subsystem emits.
 const maxFields = 8
 
-// Field is one key/value pair of a Record. A Field holds either a number
-// or a string: Str non-empty means the field renders as a string.
+// FieldKind says how a Field renders. The kind is explicit rather than
+// inferred from the value: a legitimately-empty string field ("" carrier
+// name, say) must still render as "" and never as the number 0. The zero
+// kind is KindNum so numeric fields stay zero-cost to build.
+type FieldKind uint8
+
+const (
+	// KindNum renders the field's Num value.
+	KindNum FieldKind = iota
+	// KindStr renders the field's Str value (quoted).
+	KindStr
+)
+
+// Field is one key/value pair of a Record: a number (KindNum) or a string
+// (KindStr), selected by the explicit Kind bit.
 type Field struct {
-	Key string
-	Num float64
-	Str string
+	Key  string
+	Kind FieldKind
+	Num  float64
+	Str  string
 }
 
 // F returns a numeric field.
 func F(key string, v float64) Field { return Field{Key: key, Num: v} }
 
 // S returns a string field.
-func S(key, v string) Field { return Field{Key: key, Str: v} }
+func S(key, v string) Field { return Field{Key: key, Kind: KindStr, Str: v} }
 
 // Record is one structured trace entry: a point event (Dur == 0) or a span
 // (Dur > 0, with At the span's start). Records are plain values; build them
@@ -80,11 +94,29 @@ func (r Record) With(f Field) Record {
 // the record's storage; treat it as read-only.
 func (r *Record) Fields() []Field { return r.fields[:r.n] }
 
+// RecordSink consumes batches of records flushed out of a spilling Tracer
+// (see Tracer.SpillTo). The batch slice is reused by the tracer after the
+// call returns; implementations must not retain it.
+type RecordSink interface {
+	WriteRecords(recs []Record) error
+}
+
 // Tracer accumulates sim-time records in emission order. A nil *Tracer is
 // the disabled tracer: Emit is an allocation-free no-op and Enabled reports
 // false, so hot paths can skip even building the Record.
+//
+// By default records accumulate in memory until rendered — O(events). For
+// campaigns where that is the long pole, SpillTo bounds the buffer: full
+// batches stream to a RecordSink (a colf block encoder, a JSONL writer) and
+// memory stays O(spill capacity) however many records are emitted.
 type Tracer struct {
 	recs []Record
+
+	// spill state (SpillTo); nil sink means accumulate-only.
+	sink     RecordSink
+	spillCap int
+	spillErr error
+	spilled  uint64
 }
 
 // NewTracer returns an empty enabled tracer.
@@ -93,15 +125,69 @@ func NewTracer() *Tracer { return &Tracer{} }
 // Enabled reports whether records are being collected.
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// SpillTo puts the tracer in bounded-buffer mode: whenever bufCap records
+// have accumulated they are handed to sink (in emission order) and the
+// buffer resets, so tracer memory is O(bufCap) instead of O(events).
+// Records already buffered stay buffered until the next flush boundary.
+// Callers must finish with FlushSpill, which drains the tail and surfaces
+// the first sink error. In spill mode Len/Records cover only the not-yet-
+// spilled tail. No-op on a nil tracer; bufCap < 1 is treated as 1.
+func (t *Tracer) SpillTo(sink RecordSink, bufCap int) {
+	if t == nil {
+		return
+	}
+	if bufCap < 1 {
+		bufCap = 1
+	}
+	t.sink = sink
+	t.spillCap = bufCap
+}
+
+// FlushSpill drains any buffered records to the spill sink and returns the
+// first error any spill produced. It is a no-op (and returns nil) on a nil
+// or non-spilling tracer.
+func (t *Tracer) FlushSpill() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	if len(t.recs) > 0 {
+		t.spill()
+	}
+	return t.spillErr
+}
+
+// Spilled returns the number of records already streamed to the spill sink.
+func (t *Tracer) Spilled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.spilled
+}
+
+// spill hands the buffer to the sink and resets it, keeping the first
+// error (a truncated artifact must fail loudly at FlushSpill, not silently
+// drop batches).
+func (t *Tracer) spill() {
+	if err := t.sink.WriteRecords(t.recs); err != nil && t.spillErr == nil {
+		t.spillErr = err
+	}
+	t.spilled += uint64(len(t.recs))
+	t.recs = t.recs[:0]
+}
+
 // Emit appends a record. Emitting to a nil tracer is a no-op.
 func (t *Tracer) Emit(r Record) {
 	if t == nil {
 		return
 	}
 	t.recs = append(t.recs, r)
+	if t.sink != nil && len(t.recs) >= t.spillCap {
+		t.spill()
+	}
 }
 
-// Len returns the number of collected records (0 for a nil tracer).
+// Len returns the number of buffered records (0 for a nil tracer; in spill
+// mode, only the not-yet-spilled tail).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -109,8 +195,9 @@ func (t *Tracer) Len() int {
 	return len(t.recs)
 }
 
-// Records returns the collected records in emission order. The slice
-// aliases the tracer's storage; treat it as read-only.
+// Records returns the buffered records in emission order (in spill mode,
+// only the not-yet-spilled tail). The slice aliases the tracer's storage;
+// treat it as read-only.
 func (t *Tracer) Records() []Record {
 	if t == nil {
 		return nil
@@ -120,8 +207,9 @@ func (t *Tracer) Records() []Record {
 
 // AppendTagged appends every record of other (in order), each with the
 // given tags attached, preserving determinism as long as callers merge
-// sub-tracers in a deterministic order. A nil receiver or source is a
-// no-op.
+// sub-tracers in a deterministic order. Appends route through Emit so a
+// spilling receiver flushes at its capacity boundaries. A nil receiver or
+// source is a no-op.
 func (t *Tracer) AppendTagged(other *Tracer, tags ...Field) {
 	if t == nil || other == nil {
 		return
@@ -130,6 +218,6 @@ func (t *Tracer) AppendTagged(other *Tracer, tags ...Field) {
 		for _, tag := range tags {
 			r = r.With(tag)
 		}
-		t.recs = append(t.recs, r)
+		t.Emit(r)
 	}
 }

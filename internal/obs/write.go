@@ -9,7 +9,9 @@ import (
 
 // formatFloat renders a float deterministically: shortest representation
 // that round-trips ('g', precision -1), the same on every platform, so
-// artifacts diff cleanly across runs and worker counts.
+// artifacts diff cleanly across runs and worker counts. This is the CSV
+// form; JSON values go through appendFloatJSON, which must additionally
+// quote the non-finite tokens.
 func formatFloat(v float64) string {
 	if math.IsInf(v, 1) {
 		return "+Inf"
@@ -20,53 +22,117 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// appendFloatJSON appends v as a JSON value: the shortest round-trip
+// decimal for finite values, and a quoted token for the three non-finite
+// ones. Bare +Inf, -Inf, and NaN are not JSON tokens — a line containing
+// one fails every JSON parser — so they render as the strings "+Inf",
+// "-Inf", and "NaN", which strconv.ParseFloat accepts back verbatim.
+func appendFloatJSON(buf []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(buf, `"+Inf"`...)
+	case math.IsInf(v, -1):
+		return append(buf, `"-Inf"`...)
+	case math.IsNaN(v):
+		return append(buf, `"NaN"`...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// AppendRecordJSON appends one record as a JSON object (no trailing
+// newline) to buf and returns the extended slice. It is the single
+// rendering point for trace records — WriteTraceJSON and the colf
+// decoder's JSONL export both call it, which is what makes "decoded colf"
+// and "direct JSONL" byte-identical by construction.
+//
+// scope, when non-empty, renders as the leading "exp" key (the experiment
+// id in a merged battery artifact). Field kinds are explicit: a KindStr
+// field renders quoted even when its value is the empty string.
+func AppendRecordJSON(buf []byte, scope string, r *Record) []byte {
+	buf = append(buf, '{')
+	if scope != "" {
+		buf = append(buf, `"exp":`...)
+		buf = strconv.AppendQuote(buf, scope)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `"at":`...)
+	buf = appendFloatJSON(buf, r.At)
+	if r.Dur != 0 {
+		buf = append(buf, `,"dur":`...)
+		buf = appendFloatJSON(buf, r.Dur)
+	}
+	buf = append(buf, `,"sub":`...)
+	buf = strconv.AppendQuote(buf, r.Sub)
+	buf = append(buf, `,"name":`...)
+	buf = strconv.AppendQuote(buf, r.Name)
+	for _, f := range r.Fields() {
+		buf = append(buf, ',')
+		buf = strconv.AppendQuote(buf, f.Key)
+		buf = append(buf, ':')
+		if f.Kind == KindStr {
+			buf = strconv.AppendQuote(buf, f.Str)
+		} else {
+			buf = appendFloatJSON(buf, f.Num)
+		}
+	}
+	return append(buf, '}')
+}
+
 // WriteTraceJSON writes the tracer's records as JSON Lines, one object per
 // record, in emission order:
 //
 //	{"exp":"fig17","at":12.5,"sub":"abr","name":"chunk","idx":3,...}
 //
-// scope, when non-empty, is emitted as the "exp" key of every record (the
-// experiment id in a merged battery artifact). Numeric fields render via
-// the shortest round-trip form; a nil tracer writes nothing. The output is
-// byte-identical for identical records, independent of host or worker
-// count.
+// Numeric fields render via the shortest round-trip form; a nil tracer
+// writes nothing. The output is byte-identical for identical records,
+// independent of host or worker count.
 func WriteTraceJSON(w io.Writer, scope string, t *Tracer) error {
 	if t == nil {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
+	var buf []byte
 	for i := range t.recs {
-		r := &t.recs[i]
-		bw.WriteByte('{')
-		if scope != "" {
-			bw.WriteString(`"exp":`)
-			bw.WriteString(strconv.Quote(scope))
-			bw.WriteByte(',')
+		buf = AppendRecordJSON(buf[:0], scope, &t.recs[i])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
 		}
-		bw.WriteString(`"at":`)
-		bw.WriteString(formatFloat(r.At))
-		if r.Dur != 0 {
-			bw.WriteString(`,"dur":`)
-			bw.WriteString(formatFloat(r.Dur))
-		}
-		bw.WriteString(`,"sub":`)
-		bw.WriteString(strconv.Quote(r.Sub))
-		bw.WriteString(`,"name":`)
-		bw.WriteString(strconv.Quote(r.Name))
-		for _, f := range r.Fields() {
-			bw.WriteByte(',')
-			bw.WriteString(strconv.Quote(f.Key))
-			bw.WriteByte(':')
-			if f.Str != "" {
-				bw.WriteString(strconv.Quote(f.Str))
-			} else {
-				bw.WriteString(formatFloat(f.Num))
-			}
-		}
-		bw.WriteString("}\n")
 	}
 	return bw.Flush()
 }
+
+// TraceJSONWriter is the streaming form of WriteTraceJSON: a RecordSink
+// that renders every flushed batch as JSON Lines under one scope. Wiring
+// it into Tracer.SpillTo makes the JSONL artifact stream to disk with a
+// bounded record buffer, byte-identical to buffering everything and
+// calling WriteTraceJSON once.
+type TraceJSONWriter struct {
+	bw    *bufio.Writer
+	scope string
+	buf   []byte
+}
+
+// NewTraceJSONWriter returns a streaming JSONL sink scoping every record
+// with scope. Callers must Flush when done.
+func NewTraceJSONWriter(w io.Writer, scope string) *TraceJSONWriter {
+	return &TraceJSONWriter{bw: bufio.NewWriter(w), scope: scope}
+}
+
+// WriteRecords renders one batch. Part of the RecordSink contract.
+func (j *TraceJSONWriter) WriteRecords(recs []Record) error {
+	for i := range recs {
+		j.buf = AppendRecordJSON(j.buf[:0], j.scope, &recs[i])
+		j.buf = append(j.buf, '\n')
+		if _, err := j.bw.Write(j.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains the writer's buffer to the underlying io.Writer.
+func (j *TraceJSONWriter) Flush() error { return j.bw.Flush() }
 
 // WriteMetricsCSV writes the registry's snapshot as CSV rows
 //

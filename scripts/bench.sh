@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the per-experiment campaign benchmarks plus the sim-kernel,
-# ABR, and fleet hot-path micro-benchmarks, emit BENCH_4.json: {"<name>":
-# {"ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...,
-# ["ues_per_s": ...]}, ...}, and print the per-benchmark delta against the
-# previous recording (BENCH_3.json) so the perf trajectory is tracked PR
-# over PR.
+# ABR, fleet, and colf hot-path micro-benchmarks, emit BENCH_5.json:
+# {"<name>": {"ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...,
+# ["ues_per_s": ...], ["bytes_per_event": ...], ["mb_per_s": ...],
+# ["x_vs_jsonl": ...], ["retained_b_per_ue": ...]}, ...}, and print the
+# per-benchmark delta against the previous recording (BENCH_4.json) so the
+# perf trajectory is tracked PR over PR.
 #
 # Usage:
 #   scripts/bench.sh [output.json] [baseline.json]
@@ -15,8 +16,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
-base="${2:-BENCH_3.json}"
+out="${1:-BENCH_5.json}"
+base="${2:-BENCH_4.json}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -29,10 +30,13 @@ trap 'rm -f "$raw"' EXIT
 # tracing-disabled-overhead numbers (must stay 0 extra allocs/op),
 # BenchmarkEnabledEmit / BenchmarkSimulateTCPObs price the enabled path.
 # internal/fleet: city-scale campaign throughput (BenchmarkFleetCampaign
-# reports UEs/s) and the 0-alloc steady-state stepping contract.
+# reports UEs/s), the 0-alloc steady-state stepping contract, and the
+# stream-mode reducer (retained_B/UE prices the O(shards) state).
+# internal/obs/colf: the columnar artifact codec — bytes/event and encode
+# MB/s are the ≥5x-smaller-than-JSONL artifact contract.
 go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" \
-    . ./internal/sim ./internal/abr ./internal/obs ./internal/transport \
-    ./internal/fleet | tee "$raw"
+    . ./internal/sim ./internal/abr ./internal/obs ./internal/obs/colf \
+    ./internal/transport ./internal/fleet | tee "$raw"
 
 awk '
 BEGIN { n = 0 }
@@ -41,17 +45,26 @@ BEGIN { n = 0 }
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""; ues = ""
+    bpe = ""; mbs = ""; ratio = ""; retained = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns     = $(i - 1)
-        if ($i == "B/op")      bytes  = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
-        if ($i == "UEs/s")     ues    = $(i - 1)
+        if ($i == "ns/op")         ns       = $(i - 1)
+        if ($i == "B/op")          bytes    = $(i - 1)
+        if ($i == "allocs/op")     allocs   = $(i - 1)
+        if ($i == "UEs/s")         ues      = $(i - 1)
+        if ($i == "bytes/event")   bpe      = $(i - 1)
+        if ($i == "MB/s")          mbs      = $(i - 1)
+        if ($i == "x_vs_jsonl")    ratio    = $(i - 1)
+        if ($i == "retained_B/UE") retained = $(i - 1)
     }
     if (ns == "") next
     if (n++) printf(",\n")
     printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
            name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
-    if (ues != "") printf(", \"ues_per_s\": %s", ues)
+    if (ues != "")      printf(", \"ues_per_s\": %s", ues)
+    if (bpe != "")      printf(", \"bytes_per_event\": %s", bpe)
+    if (mbs != "")      printf(", \"mb_per_s\": %s", mbs)
+    if (ratio != "")    printf(", \"x_vs_jsonl\": %s", ratio)
+    if (retained != "") printf(", \"retained_b_per_ue\": %s", retained)
     printf("}")
 }
 END { if (n) printf("\n") }

@@ -84,4 +84,35 @@ for pair in "fleet-1.txt fleet-7.txt" "fleet-trace-1.jsonl fleet-trace-7.jsonl" 
     fi
 done
 
+echo "== colf determinism (binary artifacts) =="
+# The binary trace format inherits every byte-identity contract: colf
+# bytes are identical serial vs 7-shard (and in stream mode), and decoding
+# with colf2json reproduces the JSONL artifact exactly — for the fleet
+# campaign and for the whole quick battery.
+"$tmpdir/fgfleet" -ues 403 -shards 1 -seed 7 -window 60 \
+    -trace "$tmpdir/fleet-1.colf" -trace-format colf > /dev/null
+"$tmpdir/fgfleet" -ues 403 -shards 7 -seed 7 -window 60 \
+    -trace "$tmpdir/fleet-7.colf" -trace-format colf > /dev/null
+"$tmpdir/fgfleet" -ues 403 -shards 7 -seed 7 -window 60 -stream \
+    -trace "$tmpdir/fleet-s.colf" -trace-format colf > "$tmpdir/fleet-stream.txt"
+for pair in "fleet-1.colf fleet-7.colf" "fleet-1.colf fleet-s.colf" \
+            "fleet-1.txt fleet-stream.txt"; do
+    set -- $pair
+    if ! diff -q "$tmpdir/$1" "$tmpdir/$2" >/dev/null; then
+        echo "colf/stream fleet output mismatch: $1 vs $2" >&2
+        exit 1
+    fi
+done
+"$tmpdir/fgfleet" colf2json "$tmpdir/fleet-7.colf" > "$tmpdir/fleet-7.decoded.jsonl"
+if ! diff -q "$tmpdir/fleet-trace-1.jsonl" "$tmpdir/fleet-7.decoded.jsonl" >/dev/null; then
+    echo "decoded fleet colf trace differs from direct JSONL" >&2
+    exit 1
+fi
+"$tmpdir/fgrepro" -quick -seed 1 -trace "$tmpdir/trace.colf" -trace-format colf all > /dev/null
+"$tmpdir/fgrepro" colf2json "$tmpdir/trace.colf" > "$tmpdir/trace.decoded.jsonl"
+if ! diff -q "$tmpdir/trace-s.jsonl" "$tmpdir/trace.decoded.jsonl" >/dev/null; then
+    echo "decoded battery colf trace differs from direct JSONL" >&2
+    exit 1
+fi
+
 echo "ci: all green"
