@@ -23,14 +23,17 @@
 //	-trace FILE     write sampled per-session trace records to FILE
 //	-trace-format F trace encoding: jsonl (JSON Lines) or colf (columnar
 //	                binary; decode with the colf2json subcommand)
+//	-spill MODE     trace encoding path: shard (per-shard parallel segment
+//	                encoding, stitched in shard order) or central (serial
+//	                encoding on the reduce goroutine)
 //	-metrics FILE   write population histograms and counters (CSV)
 //	-stats          wall-clock UEs/sec and event counts on stderr
 //
-// The trace artifact streams to FILE as campaigns merge (Tracer spill), so
-// trace memory is bounded regardless of -ues. The fleet determinism
-// contract applies: stdout and both artifacts are byte-identical for any
-// -shards value, including 1, in both formats and both modes. Only -stats
-// output (wall-clock) varies between runs.
+// The trace artifact streams to FILE as campaigns merge, so trace memory
+// is bounded regardless of -ues. The fleet determinism contract applies:
+// stdout and both artifacts are byte-identical for any -shards value,
+// including 1, in both formats, both modes, and both -spill paths. Only
+// -stats output (wall-clock) varies between runs.
 package main
 
 import (
@@ -61,6 +64,7 @@ func main() {
 	stream := flag.Bool("stream", false, "stream mode: O(shards) campaign memory, sketch-based percentiles")
 	traceOut := flag.String("trace", "", "write sampled per-session trace records to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or colf")
+	spillMode := flag.String("spill", "shard", "trace encoding path: shard (parallel) or central (serial)")
 	metricsOut := flag.String("metrics", "", "write population histograms and counters (CSV) to this file")
 	stats := flag.Bool("stats", false, "print wall-clock UEs/sec and event counts to stderr")
 	flag.Parse()
@@ -75,6 +79,10 @@ func main() {
 	}
 	if *traceFormat != "jsonl" && *traceFormat != "colf" {
 		fmt.Fprintf(os.Stderr, "fgfleet: -trace-format must be jsonl or colf, got %q\n", *traceFormat)
+		os.Exit(2)
+	}
+	if *spillMode != "shard" && *spillMode != "central" {
+		fmt.Fprintf(os.Stderr, "fgfleet: -spill must be shard or central, got %q\n", *spillMode)
 		os.Exit(2)
 	}
 
@@ -94,39 +102,55 @@ func main() {
 	}
 
 	// Open the trace artifact up front and stream records into it as each
-	// campaign merges: the root tracer spills full buffers through the
-	// encoder, so trace memory stays O(spillRecords) however many records
-	// the campaigns emit. finishTrace drains the tail and closes the file.
+	// campaign completes. In shard mode each campaign's shards encode their
+	// own trace segments in parallel and fleet.Run stitches them (fleet
+	// Spill); in central mode the root tracer spills full buffers through
+	// one serial encoder. Both paths produce identical bytes; both keep
+	// trace memory bounded regardless of -ues. finishTrace drains the tail
+	// and closes the file.
 	finishTrace := func() {}
+	var spill *fleet.Spill
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgfleet:", err)
 			os.Exit(1)
 		}
-		var sink obs.RecordSink
-		var closeSink func() error
-		if *traceFormat == "colf" {
-			cw := colf.NewWriter(f)
-			sink = cw.Sink("fleet")
-			closeSink = cw.Close
-		} else {
-			jw := obs.NewTraceJSONWriter(f, "fleet")
-			sink = jw
-			closeSink = jw.Flush
-		}
-		root.Trace().SpillTo(sink, spillRecords)
-		finishTrace = func() {
-			err := root.Trace().FlushSpill()
-			if err == nil {
-				err = closeSink()
-			}
+		closeTrace := func(err error) {
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fgfleet: writing %s: %v\n", *traceOut, err)
 				os.Exit(1)
+			}
+		}
+		if *spillMode == "shard" {
+			if *traceFormat == "colf" {
+				spill = fleet.NewColfSpill(f, "fleet")
+			} else {
+				spill = fleet.NewJSONLSpill(f, "fleet")
+			}
+			finishTrace = func() { closeTrace(spill.Close()) }
+		} else {
+			var sink obs.RecordSink
+			var closeSink func() error
+			if *traceFormat == "colf" {
+				cw := colf.NewWriter(f)
+				sink = cw.Sink("fleet")
+				closeSink = cw.Close
+			} else {
+				jw := obs.NewTraceJSONWriter(f, "fleet")
+				sink = jw
+				closeSink = jw.Flush
+			}
+			root.Trace().SpillTo(sink, spillRecords)
+			finishTrace = func() {
+				err := root.Trace().FlushSpill()
+				if err == nil {
+					err = closeSink()
+				}
+				closeTrace(err)
 			}
 		}
 	}
@@ -139,8 +163,7 @@ func main() {
 	rs := make([]*fleet.Result, 0, len(mixes))
 	for _, mix := range mixes {
 		sub := obs.Sub(root)
-		start := time.Now()
-		r := fleet.Run(fleet.Config{
+		cfg := fleet.Config{
 			Seed:     *seed,
 			UEs:      *ues,
 			Shards:   *shards,
@@ -149,7 +172,17 @@ func main() {
 			SessionS: *session,
 			Obs:      sub,
 			Stream:   *stream,
-		})
+		}
+		if spill != nil {
+			cfg.Spill = spill
+			cfg.SpillTags = []obs.Field{obs.S("mix", mix.String())}
+		}
+		start := time.Now()
+		r, err := fleet.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgfleet:", err)
+			os.Exit(1)
+		}
 		wall := time.Since(start)
 		root.MergeTagged(sub, obs.S("mix", mix.String()))
 		runs = append(runs, campaign{res: r, wall: wall})

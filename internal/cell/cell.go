@@ -74,6 +74,52 @@ func (l Layout) Best(km, shadowDb float64, los bool) (Site, float64, bool) {
 	return l.Sites[bestIdx], bestRSRP, true
 }
 
+// BestBaseRSRP returns the maximum shadow-free line-of-sight base RSRP
+// (radio.Band.LoSRSRPRefDbm) over the layout's sites at route position km —
+// Best's maximand before the shadow term and the -140 dBm floor, -Inf for
+// an empty layout. Because one shadow value offsets every site of a layout
+// equally and both the max and the floor clamp are monotone, for any
+// shadowDb the RSRP value Best(km, shadowDb, true) returns equals
+// clamp(BestBaseRSRP(km) + shadowDb) bit-for-bit; argmax ties under the
+// clamp can change which Site wins, never the returned float. This is what
+// lets a caller with a static position cache the base once and replay only
+// the add and the clamp per step.
+//
+// Sites are ordered by ascending Km (the LinearLayout invariant), so the
+// maximum is found without evaluating a path loss per site: path loss grows
+// with distance, and for sites on the same side of km the distance gap to
+// the next-nearer site is the (macroscopic) site-position gap exactly, so
+// only the two sites bracketing km can attain the maximum — any other site
+// is farther by at least one spacing, which dwarfs the sub-ulp wiggle a
+// faithfully-rounded Log10 could contribute.
+func (l Layout) BestBaseRSRP(km float64) float64 {
+	n := len(l.Sites)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	// First site with Km >= km (n-1 if none): it and its left neighbour
+	// bracket the position.
+	lo, hi := 0, n-1
+	for lo < hi {
+		if mid := (lo + hi) / 2; l.Sites[mid].Km < km {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	best := math.Inf(-1)
+	for i := lo - 1; i <= lo; i++ {
+		if i < 0 {
+			continue
+		}
+		d := math.Abs(km - l.Sites[i].Km)
+		if r := l.Net.Band.LoSRSRPRefDbm(d); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
 // Fading is a first-order autoregressive (Gauss-Markov) shadow-fading
 // process in dB: correlated over seconds, as measured fading is. The zero
 // value is not usable; construct with NewFading.

@@ -55,10 +55,13 @@ func fleetCampaigns(root *obs.Obs, shards int, stream bool) []*fleet.Result {
 	rs := make([]*fleet.Result, 0, len(fleet.AllMixes))
 	for _, mix := range fleet.AllMixes {
 		sub := obs.Sub(root)
-		r := fleet.Run(fleet.Config{
+		r, err := fleet.Run(fleet.Config{
 			Seed: 7, UEs: 403, Shards: shards, Mix: mix, WindowS: 60,
 			Obs: sub, Stream: stream,
 		})
+		if err != nil {
+			panic(err)
+		}
 		root.MergeTagged(sub, obs.S("mix", mix.String()))
 		rs = append(rs, r)
 	}

@@ -20,7 +20,7 @@ import (
 func TestAdmissionTimeShardInvariance(t *testing.T) {
 	trace := func(seed int64, shards int) string {
 		o := obs.New()
-		fleet.Run(fleet.Config{Seed: seed, UEs: 403, Shards: shards, WindowS: 60, Obs: o})
+		mustRun(t, fleet.Config{Seed: seed, UEs: 403, Shards: shards, WindowS: 60, Obs: o})
 		var b bytes.Buffer
 		if err := obs.WriteTraceJSON(&b, "fleet", o.Trace()); err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 )
@@ -15,7 +16,9 @@ func BenchmarkFleetCampaign(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Run(cfg)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(ues)*float64(b.N)/b.Elapsed().Seconds(), "UEs/s")
 }
@@ -32,12 +35,66 @@ func BenchmarkFleetStreamCampaign(b *testing.B) {
 	b.ResetTimer()
 	var res *Result
 	for i := 0; i < b.N; i++ {
-		res = Run(cfg)
+		var err error
+		if res, err = Run(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(ues)*float64(b.N)/b.Elapsed().Seconds(), "UEs/s")
 	retained := res.Stream.skTput.Len()*24*4 + len(res.Stream.sampled)*72 +
 		4*(len(tputBounds)+len(qoeBounds)+len(energyBounds)+len(stallBounds))*8
 	b.ReportMetric(float64(retained)/float64(ues), "retained_B/UE")
+}
+
+// benchShardCounts returns the shard counts the scaling benchmarks sweep:
+// 1 (the serial baseline), 4, and GOMAXPROCS when it differs from both.
+// Identity tests guarantee the output is the same at every count, so the
+// sweep measures pure wall-clock scaling.
+func benchShardCounts() []int {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// BenchmarkFleetCampaignShards is BenchmarkFleetCampaign swept over shard
+// counts: same campaign, same bytes, divided across parallel engine
+// shards. ues_per_s across the sweep gives the parallel scaling
+// efficiency (bench.sh derives it into BENCH_6.json).
+func BenchmarkFleetCampaignShards(b *testing.B) {
+	const ues = 8192
+	for _, shards := range benchShardCounts() {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			cfg := Config{Seed: 1, UEs: ues, Shards: shards, Mix: MixMixed}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ues)*float64(b.N)/b.Elapsed().Seconds(), "UEs/s")
+		})
+	}
+}
+
+// BenchmarkFleetStreamCampaignShards is the stream-mode shard sweep.
+func BenchmarkFleetStreamCampaignShards(b *testing.B) {
+	const ues = 8192
+	for _, shards := range benchShardCounts() {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			cfg := Config{Seed: 1, UEs: ues, Shards: shards, Mix: MixMixed, Stream: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ues)*float64(b.N)/b.Elapsed().Seconds(), "UEs/s")
+		})
+	}
 }
 
 // steadyShard builds a shard at fleet fan-in size, admits the whole
@@ -46,7 +103,10 @@ func BenchmarkFleetStreamCampaign(b *testing.B) {
 // chunk fetch recycling pre-allocated storage.
 func steadyShard(cfg Config) *shard {
 	cfg = cfg.withDefaults()
-	dep := newDeployment(cfg.Mix, cfg.RouteKm)
+	dep, err := newDeployment(cfg.Mix, cfg.RouteKm)
+	if err != nil {
+		panic(err)
+	}
 	results := make([]UEResult, cfg.UEs)
 	sh := newShard(cfg, dep, 0, cfg.UEs, results)
 	sh.prepare()

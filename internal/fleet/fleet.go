@@ -22,6 +22,7 @@
 package fleet
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -65,6 +66,16 @@ type Config struct {
 	// SketchK is the per-metric quantile sketch size in stream mode;
 	// <= 0 means DefaultSketchK.
 	SketchK int
+	// Spill, when non-nil, streams the sampled per-session trace records
+	// to the spill's artifact writer with shard-parallel encoding (see
+	// Spill), instead of emitting them into Obs's tracer. Metrics and
+	// histograms still flow through Obs. The artifact bytes are identical
+	// to the central Obs+SpillTo pipeline at any shard count.
+	Spill *Spill
+	// SpillTags are appended to every spilled record, in order — the
+	// counterpart of the MergeTagged tags of the central pipeline (e.g.
+	// the mix tag fgfleet attaches per campaign).
+	SpillTags []obs.Field
 }
 
 func (c Config) withDefaults() Config {
@@ -173,10 +184,15 @@ func Partition(n, shards int) []Range {
 }
 
 // Run executes a campaign: fan the population out over engine shards, join,
-// then reduce serially in UE id order.
-func Run(cfg Config) *Result {
+// then reduce serially in UE id order. It fails before any shard starts when
+// the campaign cannot be built — an unknown mix, or a deployment layer whose
+// (device, band-class) pair has no measured power curve.
+func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	dep := newDeployment(cfg.Mix, cfg.RouteKm)
+	dep, err := newDeployment(cfg.Mix, cfg.RouteKm)
+	if err != nil {
+		return nil, err
+	}
 	var results []UEResult
 	var shardStats []*ShardStats
 	ranges := Partition(cfg.UEs, cfg.Shards)
@@ -188,6 +204,13 @@ func Run(cfg Config) *Result {
 		}
 	} else {
 		results = make([]UEResult, cfg.UEs)
+	}
+	var segs []spillSeg
+	var spillBase uint64
+	every := traceStride(cfg.UEs, cfg.TraceEvery)
+	if cfg.Spill != nil {
+		segs = make([]spillSeg, len(ranges))
+		spillBase = cfg.Spill.base
 	}
 	events := make([]uint64, len(ranges))
 	var wg sync.WaitGroup
@@ -204,10 +227,23 @@ func Run(cfg Config) *Result {
 					sh.stats = shardStats[si]
 				}
 				sh.run()
+				if segs != nil {
+					// Encode this shard's slice of the trace artifact
+					// here, concurrently with the other shards, at its
+					// precomputed offset in the global record stream.
+					segs[si] = cfg.Spill.encodeSeg(
+						sh.samples(rg, every), cfg.SpillTags,
+						spillBase+sampledBelow(rg.Lo, every))
+				}
 			})
 		}(si, rg)
 	}
 	wg.Wait()
+	if segs != nil {
+		if err := cfg.Spill.stitch(segs, sampledBelow(cfg.UEs, every)); err != nil {
+			return nil, fmt.Errorf("fleet: trace spill: %w", err)
+		}
+	}
 	res := &Result{Cfg: cfg, UEs: results}
 	for _, e := range events {
 		res.Events += e
@@ -226,10 +262,10 @@ func Run(cfg Config) *Result {
 		}
 		res.Stream = merged
 		streamReduce(cfg, res)
-		return res
+		return res, nil
 	}
 	reduce(cfg, res)
-	return res
+	return res, nil
 }
 
 // Population histogram bounds for the obs CDFs.
@@ -254,10 +290,7 @@ func reduce(cfg Config, res *Result) {
 	qoeH := m.Hist("fleet.qoe", qoeBounds)
 	energyH := m.Hist("fleet.energy_j", energyBounds)
 	stallH := m.Hist("fleet.stall_s", stallBounds)
-	every := cfg.TraceEvery
-	if every <= 0 {
-		every = len(res.UEs)/512 + 1
-	}
+	every := traceStride(len(res.UEs), cfg.TraceEvery)
 	for id, u := range res.UEs {
 		tputH.Observe(u.MeanMbps)
 		qoeH.Observe(u.QoE)
@@ -266,12 +299,10 @@ func reduce(cfg Config, res *Result) {
 		m.Add("fleet.chunks", float64(u.Chunks))
 		m.Add("fleet.nr_chunks", float64(u.NRChunks))
 		m.Add("fleet.stall_s_total", u.StallS)
-		if id%every == 0 {
-			tr.Emit(obs.Span(u.ArrivalS, u.DurationS, "fleet", "session").
-				With(obs.F("ue", float64(id))).
-				With(obs.F("mbps", u.MeanMbps)).
-				With(obs.F("qoe", u.QoE)).
-				With(obs.F("energy_j", u.EnergyJ)))
+		// With a Spill the sampled records reach the artifact through the
+		// shard-parallel path instead of the tracer.
+		if cfg.Spill == nil && id%every == 0 {
+			tr.Emit(sessionRecord(id, &u, nil))
 		}
 	}
 	// Note: res.Events is deliberately NOT folded into obs. Event totals

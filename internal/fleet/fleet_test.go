@@ -95,7 +95,10 @@ func TestRNGUniformAndNormalShape(t *testing.T) {
 // count.
 func TestSlabRecycling(t *testing.T) {
 	cfg := Config{Seed: 3, UEs: 600, Shards: 1, WindowS: 900, SessionS: 24}.withDefaults()
-	dep := newDeployment(MixLowBand, cfg.RouteKm)
+	dep, err := newDeployment(MixLowBand, cfg.RouteKm)
+	if err != nil {
+		t.Fatal(err)
+	}
 	results := make([]UEResult, cfg.UEs)
 	sh := newShard(cfg, dep, 0, cfg.UEs, results)
 	sh.run()
@@ -116,7 +119,9 @@ func TestSlabRecycling(t *testing.T) {
 // pre-allocated step closure (the 0-alloc admission invariant).
 func TestSlabSlotReuseKeepsClosure(t *testing.T) {
 	var s slab
-	sh := &shard{} // closures capture sh and the index only
+	// Closures capture sh and the index only; the empty deployment gives the
+	// radio cache a zero-layer stride.
+	sh := &shard{dep: &deployment{}}
 	a := s.alloc(sh)
 	b := s.alloc(sh)
 	if a == b {
@@ -137,7 +142,10 @@ func TestSlabSlotReuseKeepsClosure(t *testing.T) {
 // every UE result.
 func TestResultsWellFormed(t *testing.T) {
 	for _, mix := range AllMixes {
-		r := Run(Config{Seed: 1, UEs: 200, Shards: 2, Mix: mix, WindowS: 60})
+		r, err := Run(Config{Seed: 1, UEs: 200, Shards: 2, Mix: mix, WindowS: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(r.UEs) != 200 {
 			t.Fatalf("%v: %d results", mix, len(r.UEs))
 		}
@@ -161,7 +169,10 @@ func TestResultsWellFormed(t *testing.T) {
 // between them on throughput.
 func TestMixesReproducePaperOrdering(t *testing.T) {
 	med := func(mix Mix) (tput, energy float64) {
-		r := Run(Config{Seed: 1, UEs: 400, Mix: mix, WindowS: 120})
+		r, err := Run(Config{Seed: 1, UEs: 400, Mix: mix, WindowS: 120})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ts := r.ThroughputsMbps()
 		es := r.EnergiesJ()
 		return median(ts), median(es)

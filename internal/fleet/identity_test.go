@@ -21,7 +21,7 @@ func campaignBytes(t *testing.T, shards int) string {
 		sub := obs.Sub(root)
 		// 403 UEs: non-power-of-two and indivisible by every tested shard
 		// count, so partitions are uneven (403 = 7*57 + 4).
-		rs = append(rs, fleet.Run(fleet.Config{
+		rs = append(rs, mustRun(t, fleet.Config{
 			Seed:    7,
 			UEs:     403,
 			Shards:  shards,
@@ -60,8 +60,8 @@ func TestShardCountByteIdentity(t *testing.T) {
 // (e.g. everything rendering as zeros): a different campaign seed must
 // produce different bytes.
 func TestSeedChangesOutput(t *testing.T) {
-	a := fleet.Run(fleet.Config{Seed: 1, UEs: 50, Shards: 2, WindowS: 30})
-	b := fleet.Run(fleet.Config{Seed: 2, UEs: 50, Shards: 2, WindowS: 30})
+	a := mustRun(t, fleet.Config{Seed: 1, UEs: 50, Shards: 2, WindowS: 30})
+	b := mustRun(t, fleet.Config{Seed: 2, UEs: 50, Shards: 2, WindowS: 30})
 	ta := experiments.FleetTable([]*fleet.Result{a}).String()
 	tb := experiments.FleetTable([]*fleet.Result{b}).String()
 	if ta == tb {

@@ -2,11 +2,8 @@ package fleet
 
 import (
 	"math"
-	"sort"
+	"slices"
 
-	"fivegsim/internal/device"
-	"fivegsim/internal/power"
-	"fivegsim/internal/radio"
 	"fivegsim/internal/sim"
 	"fivegsim/internal/transport"
 )
@@ -50,11 +47,17 @@ func newShard(cfg Config, dep *deployment, lo, hi int, results []UEResult) *shar
 		s := arrivalSeed(cfg.Seed, uint64(ue))
 		sh.arrivals = append(sh.arrivals, arrival{at: cfg.WindowS * rngU01(&s), ue: ue})
 	}
-	sort.Slice(sh.arrivals, func(a, b int) bool {
-		if sh.arrivals[a].at != sh.arrivals[b].at {
-			return sh.arrivals[a].at < sh.arrivals[b].at
+	// (at, ue) is a strict total order (ue is unique), so the sorted
+	// permutation is unique and independent of the algorithm — swapping the
+	// reflect-based sort.Slice for the generic sort cannot move a byte.
+	slices.SortFunc(sh.arrivals, func(a, b arrival) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
-		return sh.arrivals[a].ue < sh.arrivals[b].ue
+		return a.ue - b.ue
 	})
 	return sh
 }
@@ -130,6 +133,12 @@ func (sh *shard) start(ue int) {
 	s.mb[i] = 0
 	s.activeS[i] = 0
 	s.nr[i] = 0
+	// Admission-time radio cache: the position is static for the whole
+	// session, so each layer's shadow-free best base RSRP is resolved once
+	// here; serveCached replays only the shadow add and the floor clamp
+	// per chunk.
+	nl := int32(len(sh.dep.layers))
+	sh.dep.baseRSRP(s.pos[i], s.rsrpBase[i*nl:(i+1)*nl])
 	sh.stepSlot(i)
 }
 
@@ -167,6 +176,12 @@ const (
 	tailThresholdS = 0.1 // inter-chunk gap that drops into connected DRX
 )
 
+// shadowInnovScale is the AR(1) innovation scale sigma*sqrt(1-rho^2),
+// hoisted out of the chunk loop: the subexpression is constant, and Go's
+// left-associative evaluation multiplies it by the normal draw last either
+// way, so the hoist is bit-identical.
+var shadowInnovScale = shadowSigmaDb * math.Sqrt(1-shadowRho*shadowRho)
+
 // stepChunk fetches one video chunk: evolve the channel, pay the RRC
 // control-plane delay, pick a track, download it through the CUBIC-lite
 // flow, and account buffer/stall/QoE/energy. Everything is closed-form or
@@ -174,7 +189,6 @@ const (
 func (sh *shard) stepChunk(i int32) {
 	s := &sh.slab
 	d := sh.dep
-	cfg := &d.prim
 	now := sh.eng.Now()
 
 	// Channel evolution since the previous chunk: mmWave blockage Markov
@@ -189,9 +203,9 @@ func (sh *shard) stepChunk(i int32) {
 			s.blocked[i] = true
 		}
 	}
-	s.shadow[i] = shadowRho*s.shadow[i] +
-		shadowSigmaDb*math.Sqrt(1-shadowRho*shadowRho)*rngNorm(&s.rng[i])
-	la, rsrp, capMbps := d.serve(s.pos[i], s.shadow[i], s.blocked[i])
+	s.shadow[i] = shadowRho*s.shadow[i] + shadowInnovScale*rngNorm(&s.rng[i])
+	nl := int32(len(d.layers))
+	la, rsrp, capMbps := d.serveCached(s.rsrpBase[i*nl:(i+1)*nl], s.shadow[i], s.blocked[i])
 
 	// Control-plane delay before the request leaves the UE.
 	ctl := 0.0
@@ -199,31 +213,22 @@ func (sh *shard) stepChunk(i int32) {
 		// RRC_IDLE -> CONNECTED: paging-occasion alignment plus the
 		// promotion (SA promotes straight to NR; NSA/LTE promote the
 		// 4G anchor first and data flows immediately after).
-		ctl = rngU01(&s.rng[i]) * cfg.IdleDRXMs / 1000
-		promo := cfg.Promo4GMs
-		if cfg.Network.Mode == radio.ModeSA {
-			promo = cfg.Promo5GMs
-		}
-		ctl += promo / 1000
-		sw := cfg.SwitchPowerMw
-		if sw == 0 {
-			sw = cfg.TailPowerMw
-		}
-		s.energyJ[i] += sw / 1000 * ctl
+		ctl = rngU01(&s.rng[i]) * d.prim.IdleDRXMs / 1000
+		ctl += d.promoS
+		s.energyJ[i] += d.switchW * ctl
 	} else {
 		gap := now - s.lastEnd[i]
 		if gap > tailThresholdS {
 			// Buffer-full wait spent in connected DRX: the next
 			// request waits for the long-DRX wakeup boundary.
-			drx := cfg.LongDRXMs / 1000
-			if drx > 0 {
+			if drx := d.longDRXs; drx > 0 {
 				if rem := math.Mod(gap, drx); rem > 1e-9 {
 					ctl = drx - rem
 				}
 			}
 		}
 		if gap+ctl > 0 {
-			s.energyJ[i] += cfg.TailPowerMw / 1000 * (gap + ctl)
+			s.energyJ[i] += d.tailW * (gap + ctl)
 		}
 	}
 
@@ -233,12 +238,10 @@ func (sh *shard) stepChunk(i int32) {
 	dl := sh.download(i, la, capMbps, sizeMb, now+ctl)
 	thr := sizeMb / dl
 
-	// Transfer energy from the ground-truth power process (§4.4).
-	pw, err := power.RadioPowerMw(device.S20U, power.Activity{
-		Class: la.net.Band.Class, DLMbps: thr, RSRPDbm: rsrp})
-	if err != nil {
-		panic(err) // unknown device/class combination: a modelling bug
-	}
+	// Transfer energy from the ground-truth power process (§4.4), through
+	// the layer's flattened curve — the (device, class) combination was
+	// validated when the deployment was built, so there is no error path.
+	pw := la.dlPower.PowerMw(thr, rsrp)
 	s.energyJ[i] += pw / 1000 * dl
 
 	// Player buffer and QoE accounting.
@@ -278,37 +281,28 @@ func (sh *shard) stepChunk(i int32) {
 	}
 	// Session over: the RRC tail starts at the last data activity.
 	s.phase[i] = phaseTail
-	sh.eng.Schedule(fetch+cfg.TailMs/1000, s.step[i])
+	sh.eng.Schedule(fetch+d.tailS, s.step[i])
 }
 
 // stepTail fires when the (NR) connected tail expires: account its energy
 // and either cascade (NSA LTE tail, SA RRC_INACTIVE dwell) or finish.
 func (sh *shard) stepTail(i int32) {
 	s := &sh.slab
-	cfg := &sh.dep.prim
-	s.energyJ[i] += cfg.TailPowerMw / 1000 * cfg.TailMs / 1000
-	switch {
-	case cfg.LTETailMs > cfg.TailMs:
+	d := sh.dep
+	s.energyJ[i] += d.tailJ
+	if d.hasCascade {
 		s.phase[i] = phaseCascade
-		sh.eng.Schedule((cfg.LTETailMs-cfg.TailMs)/1000, s.step[i])
-	case cfg.InactiveDwellMs > 0:
-		s.phase[i] = phaseCascade
-		sh.eng.Schedule(cfg.InactiveDwellMs/1000, s.step[i])
-	default:
-		sh.finalize(i)
+		sh.eng.Schedule(d.cascadeS, s.step[i])
+		return
 	}
+	sh.finalize(i)
 }
 
 // finishCascade ends the post-session state cascade: the NSA LTE-anchored
 // tail (at tail power) or the SA RRC_INACTIVE dwell (at inactive power).
 func (sh *shard) finishCascade(i int32) {
 	s := &sh.slab
-	cfg := &sh.dep.prim
-	if cfg.LTETailMs > cfg.TailMs {
-		s.energyJ[i] += cfg.TailPowerMw / 1000 * (cfg.LTETailMs - cfg.TailMs) / 1000
-	} else {
-		s.energyJ[i] += cfg.InactivePowerMw / 1000 * cfg.InactiveDwellMs / 1000
-	}
+	s.energyJ[i] += sh.dep.cascadeJ
 	sh.finalize(i)
 }
 
@@ -413,9 +407,18 @@ const (
 func (sh *shard) download(i int32, la *layer, capMbps, sizeMb, start float64) float64 {
 	s := &sh.slab
 	rtt := la.rttS
+	// Per-call CUBIC state lives in registers: ssth/wmax/k/epoch are only
+	// rewritten by the loss branch after the ladder, so inside the loop they
+	// are plain loop-invariant locals, not per-iteration slab loads.
 	cwnd := s.cwnd[i]
+	slow := s.slow[i]
+	ssth := s.ssth[i]
+	wmax := s.wmax[i]
+	kk := s.k[i]
+	epoch := s.epoch[i]
 	capPerRTT := capMbps * rtt // megabits the link drains per RTT
 	bdpPkts := capPerRTT / mssMb
+	bdpCap := bdpPkts * bdpHeadroom
 	remaining := sizeMb
 	t := 0.0
 	for iter := 0; iter < maxRTTIters && remaining > 0; iter++ {
@@ -429,6 +432,25 @@ func (sh *shard) download(i int32, la *layer, capMbps, sizeMb, start float64) fl
 			rate = capMbps
 			perRTT = capPerRTT
 		}
+		// Once the flow leaves slow start and cwnd sits exactly at the BDP
+		// cap, every further window update reproduces the same state: a
+		// cubic target above cwnd clamps back to bdpCap, a target below
+		// leaves cwnd as is, and cwnd == bdpCap after both clamps implies
+		// bdpCap >= 2, so both clamps are no-ops too. The window, per-RTT
+		// volume, and rate are then loop-invariant and the rest of the
+		// transfer drains in a tight subtract/add loop — bit-identical to
+		// walking the full update, because every skipped update is a no-op.
+		if !slow && cwnd == bdpCap {
+			for ; iter < maxRTTIters && remaining > perRTT; iter++ {
+				remaining -= perRTT
+				t += rtt
+			}
+			if iter < maxRTTIters {
+				t += remaining / rate
+				remaining = 0
+			}
+			break
+		}
 		if remaining <= perRTT {
 			t += remaining / rate
 			remaining = 0
@@ -436,13 +458,13 @@ func (sh *shard) download(i int32, la *layer, capMbps, sizeMb, start float64) fl
 		}
 		remaining -= perRTT
 		t += rtt
-		if s.slow[i] && cwnd < s.ssth[i] {
+		if slow && cwnd < ssth {
 			cwnd *= 2
 		} else {
-			s.slow[i] = false
-			et := start + t - s.epoch[i]
-			dd := et - s.k[i]
-			target := cubicC*dd*dd*dd + s.wmax[i]
+			slow = false
+			et := start + t - epoch
+			dd := et - kk
+			target := cubicC*dd*dd*dd + wmax
 			if target > cwnd {
 				if g := cwnd * 1.5; target > g { // bound per-RTT jump
 					target = g
@@ -450,8 +472,8 @@ func (sh *shard) download(i int32, la *layer, capMbps, sizeMb, start float64) fl
 				cwnd = target
 			}
 		}
-		if cwnd > bdpPkts*bdpHeadroom {
-			cwnd = bdpPkts * bdpHeadroom
+		if cwnd > bdpCap {
+			cwnd = bdpCap
 		}
 		if cwnd < 2 {
 			cwnd = 2
@@ -484,8 +506,9 @@ func (sh *shard) download(i int32, la *layer, capMbps, sizeMb, start float64) fl
 		cwnd = math.Max(2, cwnd*cubicBeta)
 		s.ssth[i] = cwnd
 		s.epoch[i] = start + t
-		s.slow[i] = false
+		slow = false
 	}
+	s.slow[i] = slow
 	s.cwnd[i] = cwnd
 	return t
 }

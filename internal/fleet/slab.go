@@ -27,6 +27,11 @@ type slab struct {
 	pos     []float64 // route position, km (static per session)
 	shadow  []float64 // AR(1) shadow fading state, dB
 	blocked []bool    // mmWave line-of-sight blockage state
+	// rsrpBase is the admission-time radio cache: each layer's shadow-free
+	// best base RSRP at the slot's (static) position, len(dep.layers) values
+	// per slot at stride len(dep.layers). Filled by start, read by
+	// serveCached every chunk.
+	rsrpBase []float64
 
 	// session phase
 	phase   []uint8
@@ -77,6 +82,9 @@ func (s *slab) grow(sh *shard) int32 {
 	s.pos = append(s.pos, 0)
 	s.shadow = append(s.shadow, 0)
 	s.blocked = append(s.blocked, false)
+	for j := 0; j < len(sh.dep.layers); j++ {
+		s.rsrpBase = append(s.rsrpBase, 0)
+	}
 	s.phase = append(s.phase, phaseStream)
 	s.chunk = append(s.chunk, 0)
 	s.lastEnd = append(s.lastEnd, 0)

@@ -1,0 +1,178 @@
+package fleet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fivegsim/internal/fleet"
+	"fivegsim/internal/obs"
+	"fivegsim/internal/obs/colf"
+)
+
+// The spill acceptance gates: the shard-parallel spill path must produce
+// byte-identical artifacts to the central Obs+SpillTo pipeline, in both
+// formats, at any shard count, in both exact and stream mode, across
+// sequential multi-mix campaigns whose colf block boundaries straddle
+// campaign edges.
+
+// spillBlockRecs is deliberately tiny so a 403-UE campaign (every UE
+// sampled) crosses many block boundaries per shard, exercising the head /
+// aligned-middle / tail stitching; it does not divide 403, so boundaries
+// also straddle the three campaigns.
+const spillBlockRecs = 37
+
+// centralTrace renders the reference artifact through the existing serial
+// pipeline: campaign reduce emits into a sub-collector, MergeTagged stamps
+// the mix tag, and the root tracer spills through the encoder.
+func centralTrace(t *testing.T, format string, shards int, stream bool) []byte {
+	t.Helper()
+	root := obs.New()
+	var buf bytes.Buffer
+	var sink obs.RecordSink
+	finish := func() error { return nil }
+	if format == "colf" {
+		cw := colf.NewWriterSize(&buf, spillBlockRecs)
+		sink = cw.Sink("fleet")
+		finish = cw.Close
+	} else {
+		jw := obs.NewTraceJSONWriter(&buf, "fleet")
+		sink = jw
+		finish = jw.Flush
+	}
+	root.Trace().SpillTo(sink, 64)
+	for _, mix := range fleet.AllMixes {
+		sub := obs.Sub(root)
+		mustRun(t, fleet.Config{
+			Seed: 7, UEs: 403, Shards: shards, Mix: mix, WindowS: 60,
+			Obs: sub, Stream: stream,
+		})
+		root.MergeTagged(sub, obs.S("mix", mix.String()))
+	}
+	if err := root.Trace().FlushSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// spilledTrace renders the same artifact through the shard-parallel spill:
+// per-shard segment encoding, stitched in shard order, one Spill across
+// all three mixes.
+func spilledTrace(t *testing.T, format string, shards int, stream bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var sp *fleet.Spill
+	if format == "colf" {
+		sp = fleet.NewColfSpillSize(&buf, "fleet", spillBlockRecs)
+	} else {
+		sp = fleet.NewJSONLSpill(&buf, "fleet")
+	}
+	for _, mix := range fleet.AllMixes {
+		mustRun(t, fleet.Config{
+			Seed: 7, UEs: 403, Shards: shards, Mix: mix, WindowS: 60,
+			Stream: stream,
+			Spill:  sp, SpillTags: []obs.Field{obs.S("mix", mix.String())},
+		})
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSpillMatchesCentral is the core gate: shard-side spill bytes equal
+// central-pipeline bytes for every (format, shard count) combination.
+func TestSpillMatchesCentral(t *testing.T) {
+	for _, format := range []string{"colf", "jsonl"} {
+		want := centralTrace(t, format, 3, false)
+		if len(want) == 0 {
+			t.Fatalf("%s: central reference artifact is empty", format)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			if got := spilledTrace(t, format, shards, false); !bytes.Equal(got, want) {
+				t.Errorf("%s: spilled artifact at %d shards differs from central (%d vs %d bytes)",
+					format, shards, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestSpillStreamMatchesExact: stream-mode campaigns spill the same bytes
+// as exact-mode ones — the sampled UE set and values are identical, only
+// the collection path (stats fold vs results slice) differs.
+func TestSpillStreamMatchesExact(t *testing.T) {
+	for _, format := range []string{"colf", "jsonl"} {
+		want := spilledTrace(t, format, 3, false)
+		for _, shards := range []int{1, 4} {
+			if got := spilledTrace(t, format, shards, true); !bytes.Equal(got, want) {
+				t.Errorf("%s: stream-mode spill at %d shards differs from exact (%d vs %d bytes)",
+					format, shards, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestSpillDefaultBlockSize covers the re-blocking degenerate case: with
+// the default 4096-record blocks, a 403-record campaign never fills one,
+// so every shard segment is pure remainder and the stitcher does all the
+// encoding — the bytes must still match the central pipeline exactly.
+func TestSpillDefaultBlockSize(t *testing.T) {
+	root := obs.New()
+	var want bytes.Buffer
+	cw := colf.NewWriter(&want)
+	root.Trace().SpillTo(cw.Sink("fleet"), 64)
+	for _, mix := range fleet.AllMixes {
+		sub := obs.Sub(root)
+		mustRun(t, fleet.Config{Seed: 7, UEs: 403, Shards: 4, Mix: mix, WindowS: 60, Obs: sub})
+		root.MergeTagged(sub, obs.S("mix", mix.String()))
+	}
+	if err := root.Trace().FlushSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	sp := fleet.NewColfSpill(&got, "fleet")
+	for _, mix := range fleet.AllMixes {
+		mustRun(t, fleet.Config{
+			Seed: 7, UEs: 403, Shards: 4, Mix: mix, WindowS: 60,
+			Spill: sp, SpillTags: []obs.Field{obs.S("mix", mix.String())},
+		})
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("default-block spill differs from central (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}
+
+// TestSpillWithObsKeepsMetricsAndSkipsTracer: running with both Obs and
+// Spill must not double-emit — the tracer stays empty (records go through
+// the spill) while metrics histograms still fold normally.
+func TestSpillWithObsKeepsMetricsAndSkipsTracer(t *testing.T) {
+	var buf bytes.Buffer
+	sp := fleet.NewJSONLSpill(&buf, "fleet")
+	o := obs.New()
+	mustRun(t, fleet.Config{
+		Seed: 7, UEs: 101, Shards: 2, Mix: fleet.MixMixed, WindowS: 60,
+		Obs: o, Spill: sp,
+	})
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Trace().Len(); n != 0 {
+		t.Errorf("tracer holds %d records; spill mode must bypass it", n)
+	}
+	if buf.Len() == 0 {
+		t.Error("spill artifact is empty")
+	}
+	h := o.Meter().Hist("fleet.tput_mbps", nil)
+	if h.N != 101 {
+		t.Errorf("tput histogram folded %d sessions, want 101", h.N)
+	}
+}

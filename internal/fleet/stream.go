@@ -134,11 +134,8 @@ func newShardStats(cfg Config) *ShardStats {
 		skEnergy: stats.NewSketch(k, mixSeed(cfg.Seed, 0, saltSketchEnergy)),
 		skStall:  stats.NewSketch(k, mixSeed(cfg.Seed, 0, saltSketchStall)),
 	}
-	if cfg.Obs.Enabled() {
-		st.every = cfg.TraceEvery
-		if st.every <= 0 {
-			st.every = cfg.UEs/512 + 1
-		}
+	if cfg.Obs.Enabled() || cfg.Spill != nil {
+		st.every = traceStride(cfg.UEs, cfg.TraceEvery)
 	}
 	return st
 }
@@ -253,14 +250,13 @@ func streamReduce(cfg Config, res *Result) {
 	m.Add("fleet.chunks", float64(st.chunks))
 	m.Add("fleet.nr_chunks", float64(st.nrChunks))
 	m.Add("fleet.stall_s_total", fromNano(st.stallNano))
-	sort.Slice(st.sampled, func(a, b int) bool { return st.sampled[a].ue < st.sampled[b].ue })
-	tr := cfg.Obs.Trace()
-	for _, s := range st.sampled {
-		tr.Emit(obs.Span(s.u.ArrivalS, s.u.DurationS, "fleet", "session").
-			With(obs.F("ue", float64(s.ue))).
-			With(obs.F("mbps", s.u.MeanMbps)).
-			With(obs.F("qoe", s.u.QoE)).
-			With(obs.F("energy_j", s.u.EnergyJ)))
+	if cfg.Spill == nil {
+		// With a Spill the sampled records were already encoded shard-side.
+		sort.Slice(st.sampled, func(a, b int) bool { return st.sampled[a].ue < st.sampled[b].ue })
+		tr := cfg.Obs.Trace()
+		for _, s := range st.sampled {
+			tr.Emit(sessionRecord(s.ue, &s.u, nil))
+		}
 	}
 	m.Add("fleet.ues", float64(st.ues))
 }

@@ -20,7 +20,7 @@ func streamCampaignBytes(t *testing.T, shards int) string {
 	var b bytes.Buffer
 	for _, mix := range fleet.AllMixes {
 		sub := obs.Sub(root)
-		res := fleet.Run(fleet.Config{
+		res := mustRun(t, fleet.Config{
 			Seed:    7,
 			UEs:     403,
 			Shards:  shards,
@@ -66,7 +66,7 @@ func TestStreamShardCountByteIdentity(t *testing.T) {
 func TestStreamTraceMatchesExact(t *testing.T) {
 	trace := func(stream bool, shards int) string {
 		o := obs.New()
-		fleet.Run(fleet.Config{
+		mustRun(t, fleet.Config{
 			Seed: 7, UEs: 403, Shards: shards, WindowS: 60,
 			Obs: o, Stream: stream,
 		})
@@ -91,7 +91,7 @@ func TestStreamTraceMatchesExact(t *testing.T) {
 func TestStreamHistogramCountsMatchExact(t *testing.T) {
 	run := func(stream bool) []obs.Point {
 		o := obs.New()
-		fleet.Run(fleet.Config{
+		mustRun(t, fleet.Config{
 			Seed: 7, UEs: 403, Shards: 4, WindowS: 60,
 			Obs: o, Stream: stream,
 		})
@@ -125,9 +125,9 @@ func TestStreamHistogramCountsMatchExact(t *testing.T) {
 // quantiles equal exact-mode percentiles bit for bit.
 func TestStreamQuantilesExactForSmallPopulations(t *testing.T) {
 	cfg := fleet.Config{Seed: 7, UEs: 403, Shards: 4, WindowS: 60}
-	exact := fleet.Run(cfg)
+	exact := mustRun(t, cfg)
 	cfg.Stream = true
-	streamed := fleet.Run(cfg)
+	streamed := mustRun(t, cfg)
 	pops := map[string][]float64{
 		"tput_mbps": exact.ThroughputsMbps(),
 		"qoe":       exact.QoEs(),
@@ -153,7 +153,7 @@ func TestStreamQuantilesExactForSmallPopulations(t *testing.T) {
 // TestStreamStateBounded: stream mode keeps no per-UE state — Result.UEs
 // is nil and sketches cap at K however large the population.
 func TestStreamStateBounded(t *testing.T) {
-	res := fleet.Run(fleet.Config{
+	res := mustRun(t, fleet.Config{
 		Seed: 3, UEs: 900, Shards: 4, WindowS: 60,
 		Stream: true, SketchK: 64,
 	})

@@ -1,0 +1,72 @@
+// Package radiocache is a maporder fixture shaped like the fleet shard's
+// admission-time cache build: per-layer radio constants held in a map by
+// layer name, resolved once at shard start into slab columns indexed by a
+// dense layer id. Assigning the dense ids by ranging over the map is the
+// forbidden shape — the id a layer gets (and therefore every per-UE slab
+// value derived from it) would depend on map layout; the accepted idiom
+// sorts the layer names first so the cache is a pure function of the
+// deployment.
+package radiocache
+
+import "sort"
+
+// curve is one layer's radio constants.
+type curve struct {
+	rsrpBase float64
+	powerMw  float64
+}
+
+// cache is the flattened admission-time form: dense columns indexed by
+// layer id, plus the name→id assignment used when admitting UEs.
+type cache struct {
+	id       map[string]int
+	rsrpBase []float64
+	powerMw  []float64
+}
+
+// buildUnsorted assigns dense layer ids by ranging over the curve map:
+// the id assignment — and every slab column built from it — changes per
+// run.
+func buildUnsorted(curves map[string]curve) *cache {
+	c := &cache{id: make(map[string]int)}
+	for name, cv := range curves { // want: maporder
+		c.id[name] = len(c.rsrpBase)
+		c.rsrpBase = append(c.rsrpBase, cv.rsrpBase)
+		c.powerMw = append(c.powerMw, cv.powerMw)
+	}
+	return c
+}
+
+// buildHarvested extracts the layer names but never sorts them before
+// assigning ids: the same nondeterminism one hop later.
+func buildHarvested(curves map[string]curve) *cache {
+	var names []string
+	for name := range curves { // want: maporder (never sorted)
+		names = append(names, name)
+	}
+	c := &cache{id: make(map[string]int)}
+	for _, name := range names {
+		c.id[name] = len(c.rsrpBase)
+		c.rsrpBase = append(c.rsrpBase, curves[name].rsrpBase)
+		c.powerMw = append(c.powerMw, curves[name].powerMw)
+	}
+	return c
+}
+
+// build is the accepted idiom: sort the layer names, then assign dense ids
+// in sorted order, so the cache layout is a pure function of the
+// deployment's layer set.
+func build(curves map[string]curve) *cache {
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	c := &cache{id: make(map[string]int)}
+	for _, name := range names {
+		c.id[name] = len(c.rsrpBase)
+		c.rsrpBase = append(c.rsrpBase, curves[name].rsrpBase)
+		c.powerMw = append(c.powerMw, curves[name].powerMw)
+	}
+	return c
+}

@@ -2,6 +2,7 @@ package colf
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"math"
 
@@ -31,6 +32,7 @@ type Writer struct {
 	payload    []byte
 	frame      []byte
 	wroteMagic bool
+	headerless bool // segment writer: emit blocks only, no magic
 	err        error
 }
 
@@ -88,6 +90,45 @@ func (s scopedSink) WriteRecords(recs []obs.Record) error {
 // given scope — the adapter that plugs a colf Writer into Tracer.SpillTo.
 func (w *Writer) Sink(scope string) obs.RecordSink { return scopedSink{w: w, scope: scope} }
 
+// NewSegmentWriter returns a headerless Writer: it encodes blocks with the
+// given records-per-block threshold but never writes the stream magic, so
+// its output is a raw block sequence. Segments produced this way splice
+// verbatim into a full stream via WriteRawBlocks, which is what lets
+// independent workers encode disjoint aligned slices of one record stream
+// in parallel. Because every block is self-contained (the dictionary and
+// all delta chains reset at the boundary), a segment encoded standalone is
+// byte-identical to the same records encoded mid-stream, provided both
+// sides flush on the same record-count boundaries.
+func NewSegmentWriter(w io.Writer, blockRecs int) *Writer {
+	sw := NewWriterSize(w, blockRecs)
+	sw.headerless = true
+	return sw
+}
+
+// WriteRawBlocks splices a pre-encoded block sequence (a segment writer's
+// output) into the stream. The writer's record buffer must be empty — raw
+// blocks can only enter on a block boundary, or the stitched stream would
+// not match the stream a single writer would have produced.
+func (w *Writer) WriteRawBlocks(raw []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.recs) > 0 {
+		w.err = errors.New("colf: WriteRawBlocks off a block boundary (buffered records pending)")
+		return w.err
+	}
+	if !w.wroteMagic && !w.headerless {
+		w.writeMagic()
+		if w.err != nil {
+			return w.err
+		}
+	}
+	if _, err := w.bw.Write(raw); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
 // Flush encodes any buffered records as a final (possibly short) block and
 // drains the underlying buffered writer.
 func (w *Writer) Flush() error {
@@ -97,7 +138,7 @@ func (w *Writer) Flush() error {
 	if len(w.recs) > 0 {
 		w.flushBlock()
 	}
-	if w.err == nil && !w.wroteMagic {
+	if w.err == nil && !w.wroteMagic && !w.headerless {
 		// An empty artifact is still a valid colf stream: magic, no blocks.
 		w.writeMagic()
 	}
@@ -147,7 +188,7 @@ func (w *Writer) internBytes(b []byte) uint64 {
 // flushBlock encodes the buffered records as one self-contained block and
 // resets the buffer and all per-block state.
 func (w *Writer) flushBlock() {
-	if !w.wroteMagic {
+	if !w.wroteMagic && !w.headerless {
 		w.writeMagic()
 		if w.err != nil {
 			return

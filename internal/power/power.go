@@ -218,6 +218,67 @@ func RadioPowerMw(m device.Model, a Activity) (float64, error) {
 	return base + marg, nil
 }
 
+// DLPower is RadioPowerMw flattened for a downlink-only hot loop: the two
+// map-backed curve lookups, the class signal range, and the error path are
+// resolved once at construction, so each PowerMw call is a handful of
+// multiplies with no map access and no error to check. For activities with
+// ULMbps == 0 and DLMbps >= 0, PowerMw(dl, rsrp) is bit-identical to
+// RadioPowerMw: the uplink term contributes ul.Slope*max(0, 0) == +0, and
+// a + (+0) == a for every value the downlink term can take (slopes are
+// positive, so it is never -0). A negative DLMbps would flip RadioPowerMw
+// onto the uplink base power (ULMbps > DLMbps); DLPower does not model that
+// corner, which no downlink transfer can reach.
+type DLPower struct {
+	// BaseMw and SlopeMwPerMbps are the downlink curve (see Curve).
+	BaseMw         float64
+	SlopeMwPerMbps float64
+
+	// peakDbm and rangeDb are the class's representative RSRP range
+	// (classRange): rangeDb is peak-edge, precomputed with the same
+	// subtraction Poorness performs, so the division rounds identically.
+	peakDbm float64
+	rangeDb float64
+}
+
+// DLPowerFor resolves the flattened downlink power process for a device on
+// a band class. It validates both directions' curves (exactly the lookups
+// RadioPowerMw performs), so a nil error here guarantees RadioPowerMw can
+// never fail for this (device, class) at any throughput.
+func DLPowerFor(m device.Model, class radio.BandClass) (DLPower, error) {
+	dl, err := CurveFor(m, class, radio.Downlink)
+	if err != nil {
+		return DLPower{}, err
+	}
+	if _, err := CurveFor(m, class, radio.Uplink); err != nil {
+		return DLPower{}, err
+	}
+	edge, peak := classRange(class)
+	return DLPower{
+		BaseMw:         dl.BaseMw,
+		SlopeMwPerMbps: dl.SlopeMwPerMbps,
+		peakDbm:        peak,
+		rangeDb:        peak - edge,
+	}, nil
+}
+
+// PowerMw is RadioPowerMw for Activity{Class: class, DLMbps: dlMbps,
+// RSRPDbm: rsrpDbm}: the downlink linear term inflated by signal poorness.
+func (p DLPower) PowerMw(dlMbps, rsrpDbm float64) float64 {
+	poor := 0.0
+	if rsrpDbm != 0 {
+		poor = (p.peakDbm - rsrpDbm) / p.rangeDb
+		if poor < 0 {
+			poor = 0
+		}
+		if poor > 1 {
+			poor = 1
+		}
+	}
+	base := p.BaseMw * (1 + baseSignalGain*poor*poor)
+	marg := p.SlopeMwPerMbps * math.Max(0, dlMbps) * (1 + slopeSignalGain*poor)
+	return base + marg
+}
+
 // DevicePowerMw is the full instantaneous device power: screen at max
 // brightness + SoC floor + radio. This is what the Monsoon monitor measures
 // before screen subtraction.

@@ -177,11 +177,14 @@ var (
 	}
 )
 
-// RSRPAt returns the reference signal received power (dBm) at distance
-// distKm from the serving sector, optionally without line of sight, plus a
-// shadowing term (dB, signed) supplied by the caller's random process.
-// The result is clamped to a physical floor of -140 dBm.
-func (b Band) RSRPAt(distKm float64, los bool, shadowDb float64) float64 {
+// LoSRSRPRefDbm is the deterministic part of RSRPAt: the line-of-sight
+// received power at distKm before the shadowing term, the NLoS penalty, and
+// the -140 dBm floor. RSRPAt(d, true, s) computes exactly
+// clamp(LoSRSRPRefDbm(d) + s): the path-loss subtraction happens before the
+// shadow addition (Go's + is left-associative), which is what lets callers
+// cache this base per position and add a time-varying shadow later with
+// bit-identical results.
+func (b Band) LoSRSRPRefDbm(distKm float64) float64 {
 	// Antennas are mounted on poles/rooftops, so the UE never gets closer
 	// than a few tens of meters of 3-D distance even when directly under
 	// the site.
@@ -191,7 +194,15 @@ func (b Band) RSRPAt(distKm float64, los bool, shadowDb float64) float64 {
 	}
 	distM := distKm * 1000
 	pl := 10 * b.PathLossExp * math.Log10(distM)
-	rsrp := b.TxRefDbm - pl + shadowDb
+	return b.TxRefDbm - pl
+}
+
+// RSRPAt returns the reference signal received power (dBm) at distance
+// distKm from the serving sector, optionally without line of sight, plus a
+// shadowing term (dB, signed) supplied by the caller's random process.
+// The result is clamped to a physical floor of -140 dBm.
+func (b Band) RSRPAt(distKm float64, los bool, shadowDb float64) float64 {
+	rsrp := b.LoSRSRPRefDbm(distKm) + shadowDb
 	if !los {
 		rsrp -= b.NLoSPenaltyDb
 	}

@@ -14,11 +14,14 @@
 // (internal/experiments does exactly that), but a single engine must only
 // ever be driven by the goroutine that created it.
 //
-// The calendar is an index-based 4-ary min-heap over a slab of event
-// slots with a freelist, so the schedule->fire hot path performs no
-// allocations at steady state: slots are recycled, and Event handles carry
-// a generation number so that cancelling an already-fired (and possibly
-// recycled) event is always safe.
+// The calendar is a 4-ary min-heap of (time, seq, slot) entries with the
+// ordering key stored inline, so the schedule->fire hot path performs no
+// allocations at steady state and heap comparisons never leave the heap
+// array: slots are recycled through a freelist, Event handles carry a
+// generation number so that cancelling an already-fired (and possibly
+// recycled) event is always safe, and cancellation is lazy — the heap
+// entry of a cancelled event is skipped when it surfaces at the root
+// rather than extracted eagerly.
 package sim
 
 import (
@@ -55,9 +58,10 @@ type slot struct {
 	// cancelled in this slot (0 = none), so Cancelled keeps answering
 	// correctly for a handle whose slot has since been recycled.
 	cancelledGen uint32
-	// heapIdx is the slot's position in the engine's heap, -1 when the
-	// slot is not queued (free, firing, or fired).
-	heapIdx int32
+	// queued is true while the slot's current occupant is scheduled and
+	// has neither fired nor been cancelled. A heap entry whose slot is no
+	// longer queued under the entry's seq is stale and is skipped on pop.
+	queued bool
 }
 
 // Pending reports whether the event is still queued (scheduled, not yet
@@ -67,7 +71,7 @@ func (ev Event) Pending() bool {
 		return false
 	}
 	s := &ev.eng.slots[ev.id]
-	return s.gen == ev.gen && s.heapIdx >= 0
+	return s.gen == ev.gen && s.queued
 }
 
 // Cancelled reports whether the event was cancelled before it fired.
@@ -111,8 +115,9 @@ type Engine struct {
 	now     float64
 	seq     uint64
 	slots   []slot
-	free    []int32 // freelist of recyclable slot indices
-	heap    []int32 // 4-ary min-heap of slot indices, ordered by (time, seq)
+	free    []int32   // freelist of recyclable slot indices
+	heap    []heapEnt // 4-ary min-heap ordered by inline (time, seq) keys
+	live    int       // queued events, excluding stale (cancelled) heap entries
 	stopped bool
 
 	// Processed counts the number of events executed so far.
@@ -172,13 +177,20 @@ func (e *Engine) At(t float64, fn func()) Event {
 	s.seq = e.seq
 	s.fn = fn
 	s.name = ""
-	e.heapPush(id)
+	s.queued = true
+	e.live++
+	e.heapPush(heapEnt{time: t, seq: e.seq, id: id})
 	return Event{eng: e, id: id, gen: s.gen}
 }
 
 // Cancel removes a pending event. Cancelling the zero Event, an event of a
 // different engine, or an already-fired / already-cancelled event (even one
 // whose slot has since been recycled) is a no-op.
+//
+// Cancellation is lazy and O(1): the slot is recycled immediately, but the
+// calendar entry stays in the heap and is discarded when it surfaces at the
+// root. A recycled slot's new occupant carries a fresh seq, so the stale
+// entry can never fire it.
 func (e *Engine) Cancel(ev Event) {
 	if ev.eng != e || e == nil {
 		return
@@ -188,38 +200,59 @@ func (e *Engine) Cancel(ev Event) {
 		return // stale handle: the slot now belongs to a newer event
 	}
 	s.cancelledGen = ev.gen
-	if s.heapIdx >= 0 {
-		e.heapRemove(int(s.heapIdx))
+	if s.queued {
+		s.queued = false
 		s.fn = nil
+		e.live--
 		e.free = append(e.free, ev.id)
 	}
 }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.live }
+
+// purge discards stale heap entries (cancelled events) until the root is a
+// live event or the heap drains. It never advances the clock.
+func (e *Engine) purge() {
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		s := &e.slots[ent.id]
+		if s.queued && s.seq == ent.seq {
+			return
+		}
+		e.popRoot()
+	}
+}
 
 // PeekTime returns the firing time of the next queued event, or ok=false if
 // the calendar is empty.
 func (e *Engine) PeekTime() (t float64, ok bool) {
+	e.purge()
 	if len(e.heap) == 0 {
 		return 0, false
 	}
-	return e.slots[e.heap[0]].time, true
+	return e.heap[0].time, true
 }
 
 // Step executes the next event, advancing the clock to its time. It returns
 // false if no events remain or the engine was stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.heap) == 0 {
+	if e.stopped {
 		return false
 	}
-	id := e.heap[0]
-	e.heapRemove(0)
-	s := &e.slots[id]
+	e.purge()
+	if len(e.heap) == 0 {
+		return false
+	}
+	ent := e.heap[0]
+	e.popRoot()
+	s := &e.slots[ent.id]
 	fn := s.fn
 	s.fn = nil // release the closure; the slot is recyclable from here on
-	e.free = append(e.free, id)
-	e.now = s.time
+	s.queued = false
+	e.live--
+	e.free = append(e.free, ent.id)
+	e.now = ent.time
 	e.Processed++
 	fn()
 	return true
@@ -242,7 +275,11 @@ func (e *Engine) RunUntil(t float64) {
 	if e.stopped {
 		return
 	}
-	for !e.stopped && len(e.heap) > 0 && e.slots[e.heap[0]].time <= t {
+	for !e.stopped {
+		e.purge()
+		if len(e.heap) == 0 || e.heap[0].time > t {
+			break
+		}
 		e.Step()
 	}
 	if !e.stopped && t > e.now {
@@ -257,70 +294,72 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// 4-ary min-heap over slot indices, ordered by (time, seq). A wider node
+// 4-ary min-heap of calendar entries ordered by (time, seq). A wider node
 // fan-out halves the tree depth of the binary heap, trading slightly more
 // comparisons per level for far fewer cache-missing levels — the classic
-// d-ary calendar-queue layout for discrete-event kernels.
+// d-ary calendar-queue layout for discrete-event kernels. The ordering key
+// is stored inline in the entry, so sift comparisons stay inside the
+// contiguous heap array instead of chasing slot-slab pointers, and swaps
+// are plain 24-byte moves with no back-pointer maintenance.
 
-// less reports whether slot a fires strictly before slot b.
-func (e *Engine) less(a, b int32) bool {
-	sa, sb := &e.slots[a], &e.slots[b]
-	if sa.time != sb.time {
-		return sa.time < sb.time
+// heapEnt is one calendar entry: the firing key next to the slot index.
+// seq doubles as the staleness check — if the slot's current seq differs,
+// the entry belongs to a cancelled (and possibly recycled) event.
+type heapEnt struct {
+	time float64
+	seq  uint64
+	id   int32
+}
+
+// entLess reports whether entry a fires strictly before entry b. (time, seq)
+// is a strict total order: seq is unique per event, so equal keys never
+// occur and the pop sequence is fully determined.
+func entLess(a, b heapEnt) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return sa.seq < sb.seq
+	return a.seq < b.seq
 }
 
-// heapPush queues slot id.
-func (e *Engine) heapPush(id int32) {
-	e.heap = append(e.heap, id)
-	i := len(e.heap) - 1
-	e.slots[id].heapIdx = int32(i)
-	e.siftUp(i)
+// heapPush queues a calendar entry.
+func (e *Engine) heapPush(ent heapEnt) {
+	e.heap = append(e.heap, ent)
+	e.siftUp(len(e.heap) - 1)
 }
 
-// heapRemove dequeues the slot at heap position i, preserving heap order.
-func (e *Engine) heapRemove(i int) {
+// popRoot dequeues the minimum entry, preserving heap order.
+func (e *Engine) popRoot() {
 	h := e.heap
 	n := len(h) - 1
-	e.slots[h[i]].heapIdx = -1
-	if i != n {
-		h[i] = h[n]
-		e.slots[h[i]].heapIdx = int32(i)
+	if n > 0 {
+		h[0] = h[n]
 	}
 	e.heap = h[:n]
-	if i < n {
-		if e.siftDown(i) == i {
-			e.siftUp(i)
-		}
+	if n > 1 {
+		e.siftDown(0)
 	}
 }
 
-// siftUp restores heap order from position i toward the root and returns
-// the final position.
-func (e *Engine) siftUp(i int) int {
+// siftUp restores heap order from position i toward the root.
+func (e *Engine) siftUp(i int) {
 	h := e.heap
-	id := h[i]
+	ent := h[i]
 	for i > 0 {
 		p := (i - 1) / 4
-		if !e.less(id, h[p]) {
+		if !entLess(ent, h[p]) {
 			break
 		}
 		h[i] = h[p]
-		e.slots[h[i]].heapIdx = int32(i)
 		i = p
 	}
-	h[i] = id
-	e.slots[id].heapIdx = int32(i)
-	return i
+	h[i] = ent
 }
 
-// siftDown restores heap order from position i toward the leaves and
-// returns the final position.
-func (e *Engine) siftDown(i int) int {
+// siftDown restores heap order from position i toward the leaves.
+func (e *Engine) siftDown(i int) {
 	h := e.heap
 	n := len(h)
-	id := h[i]
+	ent := h[i]
 	for {
 		c := i*4 + 1
 		if c >= n {
@@ -332,20 +371,17 @@ func (e *Engine) siftDown(i int) int {
 		}
 		best := c
 		for j := c + 1; j < end; j++ {
-			if e.less(h[j], h[best]) {
+			if entLess(h[j], h[best]) {
 				best = j
 			}
 		}
-		if !e.less(h[best], id) {
+		if !entLess(h[best], ent) {
 			break
 		}
 		h[i] = h[best]
-		e.slots[h[i]].heapIdx = int32(i)
 		i = best
 	}
-	h[i] = id
-	e.slots[id].heapIdx = int32(i)
-	return i
+	h[i] = ent
 }
 
 // Timer is a restartable one-shot timer bound to an engine, mirroring the

@@ -415,20 +415,23 @@ func TestHeapIntegrityProperty(t *testing.T) {
 				j := rng.Intn(len(live))
 				e.Cancel(live[j])
 				live = append(live[:j], live[j+1:]...)
-			case len(e.heap) > 0 && rng.Intn(5) == 0:
+			case e.Pending() > 0 && rng.Intn(5) == 0:
 				e.Step()
 			default:
 				live = append(live, e.Schedule(rng.Float64()*50, func() {}))
 			}
 		}
-		if len(e.free)+len(e.heap) != len(e.slots) {
+		// Slots are recycled eagerly even though cancellation leaves stale
+		// heap entries behind: free + queued == allocated at all times.
+		if len(e.free)+e.Pending() != len(e.slots) {
 			return false
 		}
 		last := -1.0
 		var lastSeq uint64
-		for len(e.heap) > 0 {
+		for e.Pending() > 0 {
+			// PeekTime purges stale entries, so the root is the live minimum.
 			tm, _ := e.PeekTime()
-			seq := e.slots[e.heap[0]].seq
+			seq := e.heap[0].seq
 			if tm < last || (tm == last && seq < lastSeq) {
 				return false
 			}

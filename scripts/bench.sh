@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — run the per-experiment campaign benchmarks plus the sim-kernel,
-# ABR, fleet, and colf hot-path micro-benchmarks, emit BENCH_5.json:
+# ABR, fleet, and colf hot-path micro-benchmarks, emit BENCH_6.json:
 # {"<name>": {"ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...,
 # ["ues_per_s": ...], ["bytes_per_event": ...], ["mb_per_s": ...],
-# ["x_vs_jsonl": ...], ["retained_b_per_ue": ...]}, ...}, and print the
-# per-benchmark delta against the previous recording (BENCH_4.json) so the
-# perf trajectory is tracked PR over PR.
+# ["x_vs_jsonl": ...], ["retained_b_per_ue": ...]}, ...}, plus a derived
+# "FleetParallelScaling" entry (speedup and per-shard efficiency of the
+# FleetCampaignShards sweep), and print the per-benchmark delta against the
+# previous recording (BENCH_5.json) so the perf trajectory is tracked PR
+# over PR.
 #
 # Usage:
 #   scripts/bench.sh [output.json] [baseline.json]
@@ -16,8 +18,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
-base="${2:-BENCH_4.json}"
+out="${1:-BENCH_6.json}"
+base="${2:-BENCH_5.json}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -69,6 +71,32 @@ BEGIN { n = 0 }
 }
 END { if (n) printf("\n") }
 ' "$raw" | { echo "{"; cat; echo "}"; } > "$out"
+
+# Derived: parallel scaling of the FleetCampaignShards sweep — speedup of
+# the widest shard count over shards=1, and the per-shard efficiency
+# (speedup / shards; 1.0 is perfect scaling). Appended as its own entry so
+# the trajectory of the parallel story is tracked alongside the raw
+# numbers. On a single-core host the efficiency records the (expected)
+# absence of parallel speedup rather than hiding it.
+scaling="$(awk '
+/^BenchmarkFleetCampaignShards\/shards=/ {
+    n = $1; sub(/^.*shards=/, "", n); sub(/-[0-9]+$/, "", n)
+    ues = ""
+    for (i = 2; i <= NF; i++) if ($i == "UEs/s") ues = $(i - 1)
+    if (ues == "") next
+    if (n == 1) base = ues
+    if (n + 0 > maxn + 0) { maxn = n; maxues = ues }
+}
+END {
+    if (base + 0 > 0 && maxn + 0 > 1)
+        printf("  \"FleetParallelScaling\": {\"shards\": %s, \"speedup\": %.3f, \"efficiency\": %.3f}", maxn, maxues / base, maxues / base / maxn)
+}' "$raw")"
+if [ -n "$scaling" ]; then
+    awk -v entry="$scaling" '
+    NR == 1 { print; print entry ","; next }
+    { print }
+    ' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
+fi
 
 echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2
 

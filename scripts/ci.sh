@@ -30,6 +30,13 @@ echo "== go test -race =="
 # contamination); -count=1 defeats the test cache so the shuffle is real.
 go test -race -shuffle=on -count=1 ./...
 
+echo "== golden artifacts (chunk-kernel bit-identity) =="
+# The pinned fleet artifacts: any perf work on the chunk kernel (radio
+# cache, power hoisting, download ladder, calendar) must leave campaign
+# bytes untouched. A legitimate physics change regenerates the goldens
+# with -update and reviews the diff; this gate makes that step explicit.
+go test ./internal/fleet -run 'TestGoldenArtifacts' -count=1
+
 echo "== battery determinism (serial vs parallel) =="
 # The whole-campaign contract: rendered tables are byte-identical for any
 # -parallel value. Run the quick battery both ways and diff the output.
@@ -114,5 +121,23 @@ if ! diff -q "$tmpdir/trace-s.jsonl" "$tmpdir/trace.decoded.jsonl" >/dev/null; t
     echo "decoded battery colf trace differs from direct JSONL" >&2
     exit 1
 fi
+
+echo "== spill determinism (shard-parallel vs central encoding) =="
+# The parallel-spill contract: per-shard segment encoding stitched in
+# shard order must write the same bytes as the serial central encoder, in
+# both formats. The shard runs above already used the (default) shard
+# spill; re-render both artifacts through the central path and compare.
+"$tmpdir/fgfleet" -ues 403 -shards 5 -seed 7 -window 60 -spill central \
+    -trace "$tmpdir/fleet-central.jsonl" > /dev/null
+"$tmpdir/fgfleet" -ues 403 -shards 5 -seed 7 -window 60 -spill central \
+    -trace "$tmpdir/fleet-central.colf" -trace-format colf > /dev/null
+for pair in "fleet-trace-7.jsonl fleet-central.jsonl" \
+            "fleet-7.colf fleet-central.colf"; do
+    set -- $pair
+    if ! cmp -s "$tmpdir/$1" "$tmpdir/$2"; then
+        echo "shard-spill artifact differs from central-spill: $1 vs $2" >&2
+        exit 1
+    fi
+done
 
 echo "ci: all green"
