@@ -1,25 +1,30 @@
 // Command fgvet runs the repo's determinism analyzer suite (internal/lint)
-// over the module: five stdlib-only checks that keep every experiment a
-// pure function of (experiment, seed).
+// over the module: nine stdlib-only checks — five single-function scans and
+// four interprocedural analyses over a typed call graph — that keep every
+// experiment a pure function of (experiment, seed).
 //
 // Usage:
 //
-//	fgvet [-checks walltime,maporder,...] [-list] [patterns]
+//	fgvet [-checks walltime,maporder,...] [-json] [-list] [patterns]
 //
 // Patterns follow the go tool's shape: `./...` (the default) analyzes the
 // whole module; `./internal/abr/...` or `./internal/abr` restrict the
 // reported packages (the whole module is still typechecked, since checks
-// need cross-package type information). Exit status is 1 when any
-// diagnostic is reported, 2 on usage or load errors.
+// need cross-package type information). -json replaces the file:line:col
+// lines with a machine-readable array on stdout (CI archives it next to
+// the bench JSONs). Exit status is 1 when any diagnostic is reported, 2 on
+// usage or load errors.
 //
 // Findings are suppressed line-by-line with
 //
 //	//fgvet:allow <check> <reason>
 //
-// on the flagged line or the line directly above it.
+// on the flagged line or the line directly above it. The allowaudit check
+// reports any such directive that no longer suppresses anything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,9 +36,10 @@ import (
 
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	list := flag.Bool("list", false, "list the available checks and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fgvet [-checks list] [-list] [patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: fgvet [-checks list] [-json] [-list] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,13 +90,48 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, checks)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "fgvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fgvet: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape: stable field names,
+// module-root-relative file paths, 1-based positions.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders the diagnostics as one indented JSON array (an empty
+// run emits [], so the artifact is always valid JSON).
+func writeJSON(w *os.File, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -294,8 +294,11 @@ func Simulate(v Video, algo Algorithm, tr []float64, opt Options) Result {
 // SimulateScratch is Simulate with caller-owned buffers: passing the same
 // scratch across calls makes the steady path allocation-free. nil behaves
 // like a fresh scratch (and the Result then owns its slices).
+//
+//fgvet:noalloc
 func SimulateScratch(v Video, algo Algorithm, tr []float64, opt Options, sc *Scratch) Result {
 	if sc == nil {
+		//fgvet:allow noalloc nil scratch is the convenience path; callers on the hot path pass a reused Scratch
 		sc = &Scratch{}
 	}
 	opt = opt.withDefaults(v)

@@ -26,6 +26,8 @@ type HarmonicPredictor struct {
 func (h *HarmonicPredictor) Name() string { return "hm" }
 
 // Predict implements Predictor.
+//
+//fgvet:noalloc
 func (h *HarmonicPredictor) Predict(ctx *Context) float64 {
 	w := h.Window
 	if w == 0 {
@@ -296,6 +298,8 @@ func clonePredictor(p Predictor) Predictor {
 }
 
 // Select implements Algorithm.
+//
+//fgvet:noalloc
 func (m *MPC) Select(ctx *Context) int {
 	h := m.Horizon
 	if h == 0 {
@@ -349,7 +353,9 @@ func (m *MPC) Select(ctx *Context) int {
 	bestFirst, bestQoE := 0, math.Inf(-1)
 	tracks := v.Tracks()
 	if cap(m.dlq) < tracks {
+		//fgvet:allow noalloc one-time lazy growth, guarded by capacity; steady-state Selects reuse the scratch
 		m.dlq = make([]float64, tracks)
+		//fgvet:allow noalloc one-time lazy growth, guarded by capacity; steady-state Selects reuse the scratch
 		m.children = make([]mpcNode, 0, tracks)
 	}
 	dlq := m.dlq[:tracks]

@@ -90,6 +90,8 @@ func (sh *shard) run() {
 // needs no coalescing epsilon; an epsilon would fold near-simultaneous
 // arrivals onto one instant only when they happen to share a shard, which
 // is the same partition dependence in another form.
+//
+//fgvet:noalloc
 func (sh *shard) admitDue() {
 	now := sh.eng.Now()
 	for sh.next < len(sh.arrivals) && sh.arrivals[sh.next].at <= now {
@@ -103,6 +105,8 @@ func (sh *shard) admitDue() {
 
 // start admits one UE: allocate a slot, seed its stream, place it on the
 // route, and fetch the first chunk immediately (same sim time).
+//
+//fgvet:noalloc
 func (sh *shard) start(ue int) {
 	s := &sh.slab
 	i := s.alloc(sh)
@@ -144,6 +148,8 @@ func (sh *shard) start(ue int) {
 
 // stepSlot is the single event entry point for a slot; phase dispatch lets
 // one pre-allocated closure drive streaming, the tail, and the cascade.
+//
+//fgvet:noalloc
 func (sh *shard) stepSlot(i int32) {
 	switch sh.slab.phase[i] {
 	case phaseStream:
@@ -186,6 +192,8 @@ var shadowInnovScale = shadowSigmaDb * math.Sqrt(1-shadowRho*shadowRho)
 // control-plane delay, pick a track, download it through the CUBIC-lite
 // flow, and account buffer/stall/QoE/energy. Everything is closed-form or
 // boundedly iterative — no per-chunk allocation.
+//
+//fgvet:noalloc
 func (sh *shard) stepChunk(i int32) {
 	s := &sh.slab
 	d := sh.dep
@@ -286,6 +294,8 @@ func (sh *shard) stepChunk(i int32) {
 
 // stepTail fires when the (NR) connected tail expires: account its energy
 // and either cascade (NSA LTE tail, SA RRC_INACTIVE dwell) or finish.
+//
+//fgvet:noalloc
 func (sh *shard) stepTail(i int32) {
 	s := &sh.slab
 	d := sh.dep
@@ -300,6 +310,8 @@ func (sh *shard) stepTail(i int32) {
 
 // finishCascade ends the post-session state cascade: the NSA LTE-anchored
 // tail (at tail power) or the SA RRC_INACTIVE dwell (at inactive power).
+//
+//fgvet:noalloc
 func (sh *shard) finishCascade(i int32) {
 	s := &sh.slab
 	s.energyJ[i] += sh.dep.cascadeJ
@@ -308,6 +320,8 @@ func (sh *shard) finishCascade(i int32) {
 
 // finalize writes the UE's result into the campaign slice (its own index:
 // no cross-shard contention) and recycles the slot.
+//
+//fgvet:noalloc
 func (sh *shard) finalize(i int32) {
 	s := &sh.slab
 	d := sh.dep
@@ -340,6 +354,8 @@ func (sh *shard) finalize(i int32) {
 // the harmonic mean of the last three chunk throughputs, clamped by a
 // buffer reservoir (low buffer forces the lowest track) and a one-step
 // upward switch limit for smoothness.
+//
+//fgvet:noalloc
 func (sh *shard) selectTrack(i int32) int {
 	s := &sh.slab
 	d := sh.dep
@@ -404,6 +420,8 @@ const (
 // the slab across chunks. Radio loss episodes arrive as at most one
 // multiplicative decrease per chunk, with probability from the layer's
 // episode rate over the transfer window.
+//
+//fgvet:noalloc
 func (sh *shard) download(i int32, la *layer, capMbps, sizeMb, start float64) float64 {
 	s := &sh.slab
 	rtt := la.rttS

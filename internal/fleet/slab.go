@@ -113,6 +113,8 @@ func (s *slab) grow(sh *shard) int32 {
 // alloc returns a slot: recycled from the freelist when possible, grown
 // otherwise. The caller initializes every field; recycled slots keep their
 // step closure.
+//
+//fgvet:noalloc
 func (s *slab) alloc(sh *shard) int32 {
 	if n := len(s.free); n > 0 {
 		i := s.free[n-1]
@@ -123,6 +125,8 @@ func (s *slab) alloc(sh *shard) int32 {
 }
 
 // release returns a finished session's slot to the freelist.
+//
+//fgvet:noalloc
 func (s *slab) release(i int32) {
 	s.free = append(s.free, i)
 }

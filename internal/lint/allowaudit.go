@@ -1,0 +1,19 @@
+package lint
+
+const allowAuditName = "allowaudit"
+
+// AllowAuditCheck turns stale suppressions into diagnostics: a valid
+// //fgvet:allow directive that suppressed nothing during the run is
+// reported at the directive. Suppressions are debt with an expiry — when
+// the code a directive excused is fixed, moved, or deleted, the directive
+// must go too, or the next real finding on that line would be silently
+// swallowed. The check body is empty: the audit runs in Run after every
+// other check has had its chance to consume the directives (auditAllows in
+// lint.go), and only judges directives naming checks that were selected.
+func AllowAuditCheck() *Check {
+	return &Check{
+		Name: allowAuditName,
+		Doc:  "an //fgvet:allow directive that no longer suppresses any diagnostic is itself a diagnostic",
+		Run:  func(*Pass) {},
+	}
+}

@@ -1,0 +1,527 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Module bundles every loaded package of one module with the two
+// whole-program artifacts the interprocedural checks share: a typed call
+// graph (sharedwrite reachability, maporder/fpfold callee summaries) and
+// the compiler's escape-analysis table (noalloc). Both are built lazily
+// and at most once per Run, so single-function checks pay nothing.
+type Module struct {
+	Root string
+	Pkgs []*Package
+
+	built bool
+	nodes map[*types.Func]*CGNode
+	lits  map[*ast.FuncLit]*CGNode
+	// order is node creation order — packages sorted by import path, files
+	// and declarations in source order — so every graph traversal below is
+	// deterministic without position sorting.
+	order []*CGNode
+
+	reachBuilt bool
+	reach      []*CGNode
+
+	impls map[*types.Func][]*types.Func // abstract iface method -> concrete methods
+
+	sorts   map[*types.Func]map[int]bool // SortsParam summaries
+	sorting map[*types.Func]bool         // recursion guard
+
+	accum    map[*types.Func]map[int]bool // FloatAccumParam summaries
+	accuming map[*types.Func]bool
+
+	escDone bool
+	escErr  error
+	esc     map[string][]EscapeSite
+}
+
+// NewModule wraps the loaded packages; the call graph is built on first use.
+func NewModule(pkgs []*Package) *Module {
+	root := ""
+	if len(pkgs) > 0 {
+		root = pkgs[0].Root
+	}
+	return &Module{Root: root, Pkgs: pkgs}
+}
+
+// CGNode is one function in the call graph: a declared function/method or a
+// function literal. Edges are possibilistic — every reference to a function
+// (call, method value, closure creation) is an edge, because a referenced
+// function can run wherever the reference flows.
+type CGNode struct {
+	Fn   *types.Func   // nil for function literals
+	Lit  *ast.FuncLit  // nil for declared functions
+	Decl *ast.FuncDecl // nil for function literals
+	Pkg  *Package
+	Body *ast.BlockStmt
+
+	Callees []*CGNode
+	// SpawnRoot marks functions invoked by a go statement: the entry points
+	// of concurrent execution.
+	SpawnRoot bool
+	// Via is the spawn root through which reachability first found this
+	// node (self for roots); it names the goroutine in diagnostics.
+	Via *CGNode
+
+	calleeSet map[*CGNode]bool
+}
+
+// Name renders the node for diagnostics.
+func (n *CGNode) Name() string {
+	if n.Fn != nil {
+		return n.Fn.FullName()
+	}
+	return fmt.Sprintf("func literal at %s", n.Pkg.Fset.Position(n.Lit.Pos()))
+}
+
+// Pos is the node's declaration position.
+func (n *CGNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+func (n *CGNode) addCallee(c *CGNode) {
+	if c == nil || c == n || n.calleeSet[c] {
+		return
+	}
+	if n.calleeSet == nil {
+		n.calleeSet = make(map[*CGNode]bool)
+	}
+	n.calleeSet[c] = true
+	n.Callees = append(n.Callees, c)
+}
+
+// build constructs nodes for every declared function, then walks every body
+// adding edges and marking go-statement targets as spawn roots.
+func (m *Module) build() {
+	if m.built {
+		return
+	}
+	m.built = true
+	m.nodes = make(map[*types.Func]*CGNode)
+	m.lits = make(map[*ast.FuncLit]*CGNode)
+	m.impls = make(map[*types.Func][]*types.Func)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CGNode{Fn: fn, Decl: fd, Pkg: pkg, Body: fd.Body}
+				m.nodes[fn] = n
+				m.order = append(m.order, n)
+			}
+		}
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				m.addEdges(m.nodes[fn], pkg, fd.Body)
+			}
+		}
+	}
+}
+
+// litNode returns (creating if needed) the node for a function literal.
+func (m *Module) litNode(pkg *Package, lit *ast.FuncLit) *CGNode {
+	if n, ok := m.lits[lit]; ok {
+		return n
+	}
+	n := &CGNode{Lit: lit, Pkg: pkg, Body: lit.Body}
+	m.lits[lit] = n
+	m.order = append(m.order, n)
+	return n
+}
+
+// addEdges walks one function body (not descending into nested literals —
+// each literal is its own node) recording callees and spawn roots.
+func (m *Module) addEdges(cur *CGNode, pkg *Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ln := m.litNode(pkg, n)
+			cur.addCallee(ln)
+			m.addEdges(ln, pkg, n.Body)
+			return false
+		case *ast.GoStmt:
+			for _, t := range m.targetsOf(pkg, n.Call.Fun) {
+				t.SpawnRoot = true
+			}
+		case *ast.Ident:
+			if fn, ok := pkg.Info.Uses[n].(*types.Func); ok {
+				for _, t := range m.resolve(fn) {
+					cur.addCallee(t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// targetsOf resolves the function expression of a go statement to its
+// possible nodes. A literal resolves to its own node; an identifier or
+// selector resolves through the type info (with interface methods expanded
+// to every module implementation).
+func (m *Module) targetsOf(pkg *Package, fun ast.Expr) []*CGNode {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.FuncLit:
+		return []*CGNode{m.litNode(pkg, fun)}
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return m.resolve(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return m.resolve(fn)
+		}
+	}
+	return nil
+}
+
+// resolve maps a referenced *types.Func to call-graph nodes. Concrete
+// module functions map to their node; abstract interface methods expand,
+// CHA-style, to every module implementation (a dynamic dispatch can land on
+// any of them); functions outside the module have no node.
+func (m *Module) resolve(fn *types.Func) []*CGNode {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, abstract := sig.Recv().Type().Underlying().(*types.Interface); abstract {
+			var out []*CGNode
+			for _, impl := range m.implementers(fn, sig) {
+				if n := m.nodes[impl]; n != nil {
+					out = append(out, n)
+				}
+			}
+			return out
+		}
+	}
+	if n := m.nodes[fn]; n != nil {
+		return []*CGNode{n}
+	}
+	return nil
+}
+
+// implementers lists the concrete module methods an abstract interface
+// method can dispatch to, memoized per abstract method.
+func (m *Module) implementers(fn *types.Func, sig *types.Signature) []*types.Func {
+	if impls, ok := m.impls[fn]; ok {
+		return impls
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	var impls []*types.Func
+	if iface != nil {
+		for _, pkg := range m.Pkgs {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() { // Names() is sorted
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				if _, ok := named.Underlying().(*types.Interface); ok {
+					continue
+				}
+				if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, fn.Pkg(), fn.Name())
+				if impl, ok := obj.(*types.Func); ok {
+					impls = append(impls, impl)
+				}
+			}
+		}
+	}
+	m.impls[fn] = impls
+	return impls
+}
+
+// SpawnReachable returns every node reachable from a go-statement target,
+// in deterministic BFS order, each tagged (Via) with the spawn root that
+// reached it. This is the sharedwrite check's domain: code on this list
+// runs, or can run, off the main goroutine.
+func (m *Module) SpawnReachable() []*CGNode {
+	m.build()
+	if m.reachBuilt {
+		return m.reach
+	}
+	m.reachBuilt = true
+	seen := make(map[*CGNode]bool)
+	var queue []*CGNode
+	for _, n := range m.order {
+		if n.SpawnRoot && !seen[n] {
+			seen[n] = true
+			n.Via = n
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		m.reach = append(m.reach, n)
+		for _, c := range n.Callees {
+			if !seen[c] {
+				seen[c] = true
+				c.Via = n.Via
+				queue = append(queue, c)
+			}
+		}
+	}
+	return m.reach
+}
+
+// NodeOf returns the call-graph node for a declared function, or nil.
+func (m *Module) NodeOf(fn *types.Func) *CGNode {
+	m.build()
+	return m.nodes[fn]
+}
+
+// SortsParam reports whether fn sorts its i-th parameter: its body passes
+// the parameter to sort/slices, or forwards it at a position a callee sorts
+// (transitively, cycle-safe). maporder uses this to accept the
+// harvest-then-sort-in-helper idiom without a suppression.
+func (m *Module) SortsParam(fn *types.Func, i int) bool {
+	m.build()
+	if m.sorts == nil {
+		m.sorts = make(map[*types.Func]map[int]bool)
+		m.sorting = make(map[*types.Func]bool)
+	}
+	if s, ok := m.sorts[fn]; ok {
+		return s[i]
+	}
+	if m.sorting[fn] {
+		return false // conservative on recursion
+	}
+	m.sorting[fn] = true
+	defer delete(m.sorting, fn)
+	s := m.sortedParams(fn)
+	m.sorts[fn] = s
+	return s[i]
+}
+
+// sortedParams computes the SortsParam summary for one function.
+func (m *Module) sortedParams(fn *types.Func) map[int]bool {
+	out := make(map[int]bool)
+	n := m.nodes[fn]
+	if n == nil || n.Decl == nil {
+		return out
+	}
+	params := paramObjects(n.Pkg.Info, n.Decl)
+	if len(params) == 0 {
+		return out
+	}
+	info := n.Pkg.Info
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for ai, arg := range call.Args {
+			root, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			pi := paramIndex(params, info.Uses[root])
+			if pi < 0 {
+				continue
+			}
+			if isSortCall(info, call) {
+				out[pi] = true
+				continue
+			}
+			if callee := calleeFunc(info, call); callee != nil && callee != fn && m.SortsParam(callee, ai) {
+				out[pi] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// FloatAccumParam reports whether fn folds floating-point values of its
+// i-th parameter into an accumulator by ranging over it — the shape that
+// makes the call site's argument order part of the numeric result. fpfold
+// uses this to flag helpers fed cross-shard/cross-worker collections.
+func (m *Module) FloatAccumParam(fn *types.Func, i int) bool {
+	m.build()
+	if m.accum == nil {
+		m.accum = make(map[*types.Func]map[int]bool)
+		m.accuming = make(map[*types.Func]bool)
+	}
+	if a, ok := m.accum[fn]; ok {
+		return a[i]
+	}
+	if m.accuming[fn] {
+		return false
+	}
+	m.accuming[fn] = true
+	defer delete(m.accuming, fn)
+	a := m.accumParams(fn)
+	m.accum[fn] = a
+	return a[i]
+}
+
+// accumParams computes the FloatAccumParam summary: parameter indices the
+// function float-accumulates over directly, or forwards to a callee that
+// does (transitively).
+func (m *Module) accumParams(fn *types.Func) map[int]bool {
+	out := make(map[int]bool)
+	n := m.nodes[fn]
+	if n == nil || n.Decl == nil {
+		return out
+	}
+	params := paramObjects(n.Pkg.Info, n.Decl)
+	if len(params) == 0 {
+		return out
+	}
+	info := n.Pkg.Info
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.RangeStmt:
+			root, ok := ast.Unparen(nd.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pi := paramIndex(params, info.Uses[root])
+			if pi < 0 || floatAccumIn(info, nd.Body) == nil {
+				return true
+			}
+			out[pi] = true
+		case *ast.CallExpr:
+			callee := calleeFunc(info, nd)
+			if callee == nil || callee == fn {
+				return true
+			}
+			for ai, arg := range nd.Args {
+				root, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				pi := paramIndex(params, info.Uses[root])
+				if pi < 0 {
+					continue
+				}
+				if m.FloatAccumParam(callee, ai) {
+					out[pi] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// paramObjects collects the declared parameter objects of a FuncDecl in
+// signature order.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}
+
+// paramIndex finds obj among params, or -1.
+func paramIndex(params []types.Object, obj types.Object) int {
+	if obj == nil {
+		return -1
+	}
+	for i, p := range params {
+		if p != nil && p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// isSortCall reports whether call invokes the sort or slices package.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	p := pn.Imported().Path()
+	return p == "sort" || p == "slices"
+}
+
+// floatAccumIn finds the first order-sensitive float accumulation in a
+// block: a `+=` (or `x = x + e`) whose target has floating-point type.
+// Returns the offending statement or nil.
+func floatAccumIn(info *types.Info, body *ast.BlockStmt) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		asg, ok := nd.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch asg.Tok {
+		case token.ADD_ASSIGN:
+			if len(asg.Lhs) == 1 && isFloat(info.TypeOf(asg.Lhs[0])) {
+				found = asg
+				return false
+			}
+		case token.ASSIGN:
+			// x = x + e (either operand order)
+			if len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || !isFloat(info.TypeOf(asg.Lhs[0])) {
+				return true
+			}
+			bin, ok := ast.Unparen(asg.Rhs[0]).(*ast.BinaryExpr)
+			if !ok || bin.Op != token.ADD {
+				return true
+			}
+			lhs := exprString(asg.Lhs[0])
+			if lhs != "" && (exprString(bin.X) == lhs || exprString(bin.Y) == lhs) {
+				found = asg
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isFloat reports whether t's underlying type is float32/float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -43,7 +43,12 @@ type Check struct {
 
 // Pass carries one (package, check) execution and collects its findings.
 type Pass struct {
-	Pkg   *Package
+	Pkg *Package
+	// Mod is the whole loaded module: the shared home of the typed call
+	// graph and the compiler escape-analysis table the interprocedural
+	// checks (sharedwrite, fpfold, noalloc, maporder's sort-in-callee)
+	// consult. Both are built lazily, once per Run.
+	Mod   *Module
 	check *Check
 	diags *[]Diagnostic
 }
@@ -57,6 +62,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAt is Reportf for positions that do not come from the fileset —
+// the noalloc check anchors diagnostics at compiler-reported positions.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Check:   p.check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // AllChecks returns the full suite in stable order.
 func AllChecks() []*Check {
 	return []*Check{
@@ -65,26 +80,37 @@ func AllChecks() []*Check {
 		MapOrderCheck(),
 		CloneContractCheck(),
 		ErrDropCheck(),
+		SharedWriteCheck(),
+		FpFoldCheck(),
+		NoAllocCheck(),
+		AllowAuditCheck(),
 	}
 }
 
 // Run applies checks to pkgs, drops findings suppressed by a valid
-// //fgvet:allow directive, appends directive-misuse diagnostics, and
+// //fgvet:allow directive, appends directive-misuse diagnostics (and, when
+// the allowaudit check is selected, stale-suppression diagnostics), and
 // returns everything sorted by position then check name.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 	known := make(map[string]bool, len(checks))
+	auditing := false
 	for _, c := range checks {
 		known[c.Name] = true
+		if c.Name == allowAuditName {
+			auditing = true
+		}
 	}
+	mod := NewModule(pkgs)
 	var diags []Diagnostic
 	var directiveDiags []Diagnostic
-	allows := make(map[allowKey]map[string]bool)
+	allows := make(map[allowKey]map[string]*allowEntry)
+	var allowList []*allowEntry // collection order: packages, files, lines
 	for _, pkg := range pkgs {
 		for _, c := range checks {
-			pass := &Pass{Pkg: pkg, check: c, diags: &diags}
+			pass := &Pass{Pkg: pkg, Mod: mod, check: c, diags: &diags}
 			c.Run(pass)
 		}
-		collectAllows(pkg, known, allows, &directiveDiags)
+		collectAllows(pkg, allows, &allowList, &directiveDiags)
 	}
 	kept := directiveDiags
 	for _, d := range diags {
@@ -92,6 +118,9 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 			continue
 		}
 		kept = append(kept, d)
+	}
+	if auditing {
+		kept = append(kept, auditAllows(allowList, known)...)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -115,12 +144,33 @@ type allowKey struct {
 	line int
 }
 
+// allowEntry is one valid //fgvet:allow directive: where it sits, which
+// check it names, and whether it suppressed anything during this Run (the
+// allowaudit input).
+type allowEntry struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
 const allowPrefix = "//fgvet:allow"
+
+// knownCheckNames is the directive vocabulary: every check of the full
+// suite, whether or not it was selected for this Run. A subset run (fgvet
+// -checks=walltime) must not report a perfectly good //fgvet:allow noalloc
+// as unknown.
+var knownCheckNames = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, c := range AllChecks() {
+		m[c.Name] = true
+	}
+	return m
+}()
 
 // collectAllows scans a package's comments for //fgvet:allow directives,
 // recording valid ones in allows and reporting malformed ones (unknown
 // check, missing reason) as diagnostics under the "allow" pseudo-check.
-func collectAllows(pkg *Package, known map[string]bool, allows map[allowKey]map[string]bool, diags *[]Diagnostic) {
+func collectAllows(pkg *Package, allows map[allowKey]map[string]*allowEntry, list *[]*allowEntry, diags *[]Diagnostic) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -134,7 +184,7 @@ func collectAllows(pkg *Package, known map[string]bool, allows map[allowKey]map[
 				case name == "":
 					*diags = append(*diags, Diagnostic{Pos: pos, Check: "allow",
 						Message: "malformed directive: want //fgvet:allow <check> <reason>"})
-				case !known[name]:
+				case !knownCheckNames[name]:
 					*diags = append(*diags, Diagnostic{Pos: pos, Check: "allow",
 						Message: fmt.Sprintf("unknown check %q in //fgvet:allow directive", name)})
 				case strings.TrimSpace(reason) == "":
@@ -143,9 +193,11 @@ func collectAllows(pkg *Package, known map[string]bool, allows map[allowKey]map[
 				default:
 					k := allowKey{file: pos.Filename, line: pos.Line}
 					if allows[k] == nil {
-						allows[k] = make(map[string]bool)
+						allows[k] = make(map[string]*allowEntry)
 					}
-					allows[k][name] = true
+					e := &allowEntry{pos: pos, check: name}
+					allows[k][name] = e
+					*list = append(*list, e)
 				}
 			}
 		}
@@ -153,12 +205,34 @@ func collectAllows(pkg *Package, known map[string]bool, allows map[allowKey]map[
 }
 
 // suppressed reports whether d is covered by an allow directive on its own
-// line or the line directly above.
-func suppressed(allows map[allowKey]map[string]bool, d Diagnostic) bool {
-	if allows[allowKey{d.Pos.Filename, d.Pos.Line}][d.Check] {
+// line or the line directly above, marking the directive used.
+func suppressed(allows map[allowKey]map[string]*allowEntry, d Diagnostic) bool {
+	if e := allows[allowKey{d.Pos.Filename, d.Pos.Line}][d.Check]; e != nil {
+		e.used = true
 		return true
 	}
-	return allows[allowKey{d.Pos.Filename, d.Pos.Line - 1}][d.Check]
+	if e := allows[allowKey{d.Pos.Filename, d.Pos.Line - 1}][d.Check]; e != nil {
+		e.used = true
+		return true
+	}
+	return false
+}
+
+// auditAllows returns a diagnostic for every valid allow directive that
+// suppressed nothing. Only directives naming a check that actually ran are
+// judged: a subset run cannot tell whether an allow for an unselected check
+// is stale. Suppressions therefore cannot rot — when the code a directive
+// excused is fixed or deleted, the directive itself becomes the finding.
+func auditAllows(list []*allowEntry, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range list {
+		if e.used || !ran[e.check] {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: e.pos, Check: allowAuditName,
+			Message: fmt.Sprintf("stale suppression: //fgvet:allow %s no longer suppresses any diagnostic; delete it", e.check)})
+	}
+	return out
 }
 
 // inspectStack walks root depth-first calling fn with each node and the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -14,6 +15,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,6 +27,9 @@ type Package struct {
 	Path string
 	// Dir is the absolute directory.
 	Dir string
+	// Root is the absolute module root (the directory holding go.mod).
+	// Interprocedural checks use it to invoke the go tool for the module.
+	Root string
 	// Fset is shared by every package of one Loader.
 	Fset *token.FileSet
 	// Files holds the parsed non-test sources, sorted by file name, with
@@ -163,6 +168,9 @@ func (l *Loader) parseDir(dir string) error {
 		if err != nil {
 			return err
 		}
+		if !buildTagsSatisfied(src) {
+			continue
+		}
 		rel, err := filepath.Rel(l.root, filepath.Join(dir, name))
 		if err != nil {
 			return err
@@ -297,6 +305,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	pkg := &Package{
 		Path:  path,
 		Dir:   l.dirs[path],
+		Root:  l.root,
 		Fset:  l.fset,
 		Files: files,
 		Types: tpkg,
@@ -304,6 +313,66 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// buildTagsSatisfied evaluates a file's //go:build constraint (the lines
+// before the package clause) against the host GOOS/GOARCH, mirroring the go
+// tool's file selection. The tag set is fixed for one process, so the loaded
+// file set — and every diagnostic position derived from it — is
+// deterministic: two runs on the same toolchain always typecheck the same
+// files. Files with no constraint are always included; legacy // +build
+// lines without a //go:build line are ignored (the gofmt'd tree always
+// carries the //go:build form).
+func buildTagsSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true // malformed constraint: let the typechecker complain
+		}
+		return expr.Eval(buildTagOK)
+	}
+	return true
+}
+
+// buildTagOK is the loader's tag universe: host OS/arch, the gc toolchain,
+// cgo off (the analyzer never needs it), and every go1.N release tag up to
+// the running toolchain.
+func buildTagOK(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		if minor, err := strconv.Atoi(rest); err == nil {
+			return minor <= toolchainMinor()
+		}
+	}
+	return false
+}
+
+// toolchainMinor extracts N from runtime.Version()'s "go1.N[.M]" form;
+// development versions ("devel ...") report a high minor so every release
+// tag is satisfied.
+func toolchainMinor() int {
+	v := runtime.Version()
+	rest, ok := strings.CutPrefix(v, "go1.")
+	if !ok {
+		return 999
+	}
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		rest = rest[:i]
+	}
+	if minor, err := strconv.Atoi(rest); err == nil {
+		return minor
+	}
+	return 999
 }
 
 // ErrNotFound reports a pattern that matched nothing (used by cmd/fgvet).

@@ -10,13 +10,17 @@ import (
 // order per run, which would silently break the serial-vs-parallel
 // byte-identical battery contract anywhere the iteration feeds rendered
 // tables, figure data, or even float accumulation (summation order changes
-// the rounding). The one accepted shape is the key harvest — a loop whose
-// body only appends the keys to a slice — provided the slice is passed to
-// sort/slices later in the same block.
+// the rounding). Ranging over the maps.Keys/Values/All iterators is the
+// same hazard in new clothes and is flagged identically — but
+// slices.Sorted(maps.Keys(m)) produces a sorted slice and is always fine.
+// The one accepted loop shape is the key harvest — a loop whose body only
+// appends the keys to a slice — provided the slice is then sorted in the
+// same block, either by a direct sort/slices call or by a module helper
+// whose call-graph summary says it sorts that parameter.
 func MapOrderCheck() *Check {
 	c := &Check{
 		Name: "maporder",
-		Doc:  "forbid range over maps unless the keys are extracted and sorted before use",
+		Doc:  "forbid range over maps (and maps.Keys/Values/All iterators) unless the keys are extracted and sorted before use",
 	}
 	c.Run = func(pass *Pass) {
 		info := pass.Pkg.Info
@@ -24,6 +28,11 @@ func MapOrderCheck() *Check {
 			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
 				rs, ok := n.(*ast.RangeStmt)
 				if !ok {
+					return true
+				}
+				if name, ok := mapsIterCall(info, rs.X); ok {
+					pass.Reportf(rs.Pos(),
+						"range over maps.%s iterates in randomized order, same as ranging the map; wrap it in slices.Sorted (or slices.SortedFunc) instead", name)
 					return true
 				}
 				t := info.TypeOf(rs.X)
@@ -39,7 +48,7 @@ func MapOrderCheck() *Check {
 						"map iteration order is randomized per run; extract the keys, sort them, and range over the sorted slice")
 					return true
 				}
-				if !sortedAfter(info, stack, rs, target) {
+				if !sortedAfter(pass, stack, rs, target) {
 					pass.Reportf(rs.Pos(),
 						"map keys are harvested into %s but never sorted in this block; sort before iterating", target)
 				}
@@ -48,6 +57,33 @@ func MapOrderCheck() *Check {
 		}
 	}
 	return c
+}
+
+// mapsIterCall matches a call to the stdlib maps package's iterator
+// constructors (Keys, Values, All), the post-1.23 spelling of unordered
+// map iteration.
+func mapsIterCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkgIdent, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "maps" {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Keys", "Values", "All":
+		return sel.Sel.Name, true
+	}
+	return "", false
 }
 
 // harvestTarget matches the key-harvest idiom
@@ -91,8 +127,11 @@ func harvestTarget(info *types.Info, rs *ast.RangeStmt) (string, bool) {
 }
 
 // sortedAfter reports whether, after the range statement, the enclosing
-// block contains a sort/slices call mentioning target.
-func sortedAfter(info *types.Info, stack []ast.Node, rs *ast.RangeStmt, target string) bool {
+// block sorts target: a direct sort/slices call mentioning it, or a call
+// to a module function whose SortsParam summary covers the position target
+// is passed at (the sort-in-callee idiom).
+func sortedAfter(pass *Pass, stack []ast.Node, rs *ast.RangeStmt, target string) bool {
+	info := pass.Pkg.Info
 	if len(stack) == 0 {
 		return false
 	}
@@ -117,24 +156,19 @@ func sortedAfter(info *types.Info, stack []ast.Node, rs *ast.RangeStmt, target s
 			if !ok {
 				return true
 			}
-			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok {
+			if isSortCall(info, call) {
+				for _, arg := range call.Args {
+					if strings.Contains(exprString(arg), target) {
+						found = true
+					}
+				}
 				return true
 			}
-			pkgIdent, ok := ast.Unparen(sel.X).(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pn, ok := info.Uses[pkgIdent].(*types.PkgName)
-			if !ok {
-				return true
-			}
-			if p := pn.Imported().Path(); p != "sort" && p != "slices" {
-				return true
-			}
-			for _, arg := range call.Args {
-				if strings.Contains(exprString(arg), target) {
-					found = true
+			if callee := calleeFunc(info, call); callee != nil {
+				for ai, arg := range call.Args {
+					if exprString(arg) == target && pass.Mod.SortsParam(callee, ai) {
+						found = true
+					}
 				}
 			}
 			return true

@@ -1,0 +1,27 @@
+// Package stale exercises the allowaudit check: a directive that
+// suppresses a live finding is fine; a directive whose finding was fixed
+// (or that drifted away from its line) is itself reported.
+package stale
+
+import "time"
+
+// Wall is a sanctioned wall-clock read; its directive suppresses a real
+// finding and is therefore not stale.
+func Wall() time.Time {
+	return time.Now() //fgvet:allow walltime process start stamp for the run header
+}
+
+// Fixed once read the wall clock; the fix removed the call but left the
+// directive behind — exactly the rot allowaudit reports.
+func Fixed() int64 {
+	//fgvet:allow walltime sim-time migration left this behind
+	return 42
+}
+
+// WrongLine's directive drifted two lines above the finding it meant to
+// cover, so the finding is reported and the directive is stale.
+func WrongLine() time.Time {
+	//fgvet:allow walltime drifted away from its line
+
+	return time.Now()
+}

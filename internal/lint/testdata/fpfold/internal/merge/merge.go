@@ -1,0 +1,83 @@
+// Package merge exercises the fpfold check: order-sensitive float folds
+// over per-shard/per-worker collections and channels are flagged — directly
+// and through helper summaries — while int64 nanounit sums, per-trace data,
+// and annotated exceptions pass.
+package merge
+
+// ShardResult is one shard's contribution to a campaign.
+type ShardResult struct {
+	Sum   float64
+	Nanos int64
+}
+
+// TotalQoE folds floats across shards: the rounding depends on shard
+// count, so it is flagged.
+func TotalQoE(shardResults []ShardResult) float64 {
+	var total float64
+	for _, r := range shardResults {
+		total += r.Sum
+	}
+	return total
+}
+
+// TotalNanos is the sanctioned merge: integer nanounits associate.
+func TotalNanos(shardResults []ShardResult) int64 {
+	var total int64
+	for _, r := range shardResults {
+		total += r.Nanos
+	}
+	return total
+}
+
+// Drain folds floats straight off a channel; receive order is
+// scheduling-dependent regardless of the channel's name.
+func Drain(results chan float64) float64 {
+	var total float64
+	for v := range results {
+		total = total + v
+	}
+	return total
+}
+
+// meanOf looks innocent in isolation: it accumulates floats in iteration
+// order over its parameter, which makes it a hazard only at call sites
+// that pass order-unstable data. Its summary records parameter 0.
+func meanOf(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// avg forwards to meanOf: the summary is transitive.
+func avg(xs []float64) float64 {
+	return meanOf(xs)
+}
+
+// PerShardMean trips the interprocedural summary: the argument is
+// per-shard data and meanOf folds it in order.
+func PerShardMean(shardMbps []float64) float64 {
+	return meanOf(shardMbps)
+}
+
+// WorkerMean trips the same summary two hops deep.
+func WorkerMean(workerQoE []float64) float64 {
+	return avg(workerQoE)
+}
+
+// TraceMean is the legitimate use of the same helper: a single trace's
+// samples have one canonical order.
+func TraceMean(traceMbps []float64) float64 {
+	return meanOf(traceMbps)
+}
+
+// WeightedShardSum is order-sensitive by design and says so: the weights
+// are pre-sorted upstream, so the fold is deterministic.
+func WeightedShardSum(shardWeights []float64) float64 {
+	var s float64
+	for _, w := range shardWeights {
+		s += w //fgvet:allow fpfold weights arrive pre-sorted in shard order; fold order is pinned
+	}
+	return s
+}

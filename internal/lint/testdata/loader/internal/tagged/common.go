@@ -1,0 +1,9 @@
+// Package tagged is the loader fixture: one unconditional file, one file
+// whose //go:build constraint always holds, and one whose constraint can
+// never hold. The impossible file redeclares impl, so accidentally
+// including it would be a duplicate-declaration typecheck error — the test
+// passing proves the loader evaluated the constraints.
+package tagged
+
+// Value uses the implementation provided by the satisfied tagged file.
+func Value() int { return impl() }

@@ -1,0 +1,7 @@
+//go:build go1.1
+
+// The go1.1 release tag is satisfied by every toolchain that can build
+// this module, so this file is always part of the package.
+package tagged
+
+func impl() int { return 1 }

@@ -1,0 +1,7 @@
+//go:build fgvet_no_such_tag
+
+// This file's constraint names a tag outside the loader's universe and is
+// never included; its impl would collide with current.go's otherwise.
+package tagged
+
+func impl() int { return 2 }

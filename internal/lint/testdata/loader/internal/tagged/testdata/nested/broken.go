@@ -1,0 +1,7 @@
+// Package broken must never be loaded: the loader skips fixture trees
+// (testdata directories), and descending here would both fail the
+// typecheck (undefinedIdentifier resolves to nothing) and add a second
+// package to a load that asserts exactly one.
+package broken
+
+var Broken = undefinedIdentifier

@@ -1,0 +1,84 @@
+// Package iterkeys exercises the post-1.23 spellings: the maps.Keys/
+// Values/All iterators are the same randomized order as ranging the map
+// and are flagged, slices.Sorted over an iterator is always fine, and a
+// harvest loop followed by a sorting helper (sort-in-callee) is accepted.
+package iterkeys
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// IterKeys ranges the keys iterator directly: randomized order.
+func IterKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k)
+	}
+	return out
+}
+
+// IterValues and IterAll are the same hazard for values and pairs.
+func IterValues(m map[string]int) int {
+	total := 0
+	for v := range maps.Values(m) {
+		total += v
+	}
+	for k, v := range maps.All(m) {
+		total += len(k) + v
+	}
+	return total
+}
+
+// SortedKeys is the blessed one-liner: slices.Sorted materializes and
+// sorts before anything observes the order.
+func SortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// sortNames is a helper whose call-graph summary says it sorts its
+// parameter.
+func sortNames(names []string) {
+	sort.Strings(names)
+}
+
+// canonicalize forwards to sortNames: the summary is transitive.
+func canonicalize(names []string) {
+	sortNames(names)
+}
+
+// HarvestHelper harvests keys then sorts them in a callee: accepted
+// without a suppression.
+func HarvestHelper(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sortNames(names)
+	return names
+}
+
+// HarvestTransitive sorts two hops down.
+func HarvestTransitive(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	canonicalize(names)
+	return names
+}
+
+// logNames does not sort anything.
+func logNames(names []string) { _ = names }
+
+// HarvestUnsorted passes the harvest to a helper that never sorts: still
+// flagged.
+func HarvestUnsorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	logNames(names)
+	return names
+}

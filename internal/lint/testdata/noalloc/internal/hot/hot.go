@@ -1,0 +1,40 @@
+// Package hot exercises the noalloc check against real compiler escape
+// analysis: a genuinely allocation-free function passes, a function whose
+// result escapes is flagged at the allocation site, and a guarded cold-path
+// allocation is carried by a line-scoped allow.
+package hot
+
+// Sum is truly allocation-free: the contract the annotation proves.
+//
+//fgvet:noalloc
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Grow claims allocation freedom but returns a fresh slice: the compiler
+// reports the make escaping, and the check turns that into a diagnostic.
+//
+//fgvet:noalloc
+func Grow(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Lazy documents its one cold allocation: steady-state calls reuse the
+// buffer, and the growth branch carries an allow.
+//
+//fgvet:noalloc
+func Lazy(buf *[]byte, n int) {
+	if cap(*buf) < n {
+		//fgvet:allow noalloc one-time growth; steady state reuses the caller's buffer
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+}

@@ -58,6 +58,8 @@ func NewWriterSize(w io.Writer, blockRecs int) *Writer {
 // Add buffers one scoped record, encoding a block when the threshold is
 // reached. It returns the writer's first error; once failed, every later
 // Add returns the same error and encodes nothing.
+//
+//fgvet:noalloc
 func (w *Writer) Add(scope string, r obs.Record) error {
 	if w.err != nil {
 		return w.err
@@ -165,6 +167,8 @@ func (w *Writer) writeMagic() {
 // intern returns the block-local dictionary id for s, assigning ids in
 // first-reference order. The dictionary section is later written from
 // dictOrder — the ordered slice — so the bytes never depend on map layout.
+//
+//fgvet:noalloc
 func (w *Writer) intern(s string) uint64 {
 	if id, ok := w.dict[s]; ok {
 		return id
@@ -178,15 +182,20 @@ func (w *Writer) intern(s string) uint64 {
 // internBytes interns a byte-string (a field shape) without allocating on
 // the repeat-lookup path — the compiler elides the string conversion in
 // the map index expression.
+//
+//fgvet:noalloc
 func (w *Writer) internBytes(b []byte) uint64 {
 	if id, ok := w.dict[string(b)]; ok {
 		return id
 	}
+	//fgvet:allow noalloc a dictionary miss must copy the key it retains; the steady path (hit) is allocation-free
 	return w.intern(string(b))
 }
 
 // flushBlock encodes the buffered records as one self-contained block and
 // resets the buffer and all per-block state.
+//
+//fgvet:noalloc
 func (w *Writer) flushBlock() {
 	if !w.wroteMagic && !w.headerless {
 		w.writeMagic()
@@ -241,6 +250,7 @@ func (w *Writer) flushBlock() {
 			}
 			w.lastNum[key] = bits
 		}
+		//fgvet:allow noalloc inlined internBytes miss path copies a new shape key; steady-state blocks reuse interned shapes
 		w.sections[secShape] = appendUvarint(w.sections[secShape], w.internBytes(w.shapeBuf))
 	}
 

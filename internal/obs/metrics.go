@@ -16,6 +16,8 @@ type Histogram struct {
 }
 
 // Observe records one sample. Observing on a nil histogram is a no-op.
+//
+//fgvet:noalloc
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -49,6 +51,8 @@ func NewMetrics() *Metrics {
 func (m *Metrics) Enabled() bool { return m != nil }
 
 // Add increments the named counter by v.
+//
+//fgvet:noalloc
 func (m *Metrics) Add(name string, v float64) {
 	if m == nil {
 		return
@@ -57,6 +61,8 @@ func (m *Metrics) Add(name string, v float64) {
 }
 
 // Inc increments the named counter by one.
+//
+//fgvet:noalloc
 func (m *Metrics) Inc(name string) { m.Add(name, 1) }
 
 // Gauge sets the named gauge to v (last write wins).

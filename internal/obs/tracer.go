@@ -46,9 +46,13 @@ type Field struct {
 }
 
 // F returns a numeric field.
+//
+//fgvet:noalloc
 func F(key string, v float64) Field { return Field{Key: key, Num: v} }
 
 // S returns a string field.
+//
+//fgvet:noalloc
 func S(key, v string) Field { return Field{Key: key, Kind: KindStr, Str: v} }
 
 // Record is one structured trace entry: a point event (Dur == 0) or a span
@@ -70,11 +74,15 @@ type Record struct {
 }
 
 // Ev returns a point-event record at sim time `at`.
+//
+//fgvet:noalloc
 func Ev(at float64, sub, name string) Record {
 	return Record{At: at, Sub: sub, Name: name}
 }
 
 // Span returns a span record covering [at, at+dur).
+//
+//fgvet:noalloc
 func Span(at, dur float64, sub, name string) Record {
 	return Record{At: at, Dur: dur, Sub: sub, Name: name}
 }
@@ -82,6 +90,8 @@ func Span(at, dur float64, sub, name string) Record {
 // With returns the record with f appended. Fields beyond the fixed capacity
 // are dropped silently; subsystems emit few enough that this only bounds
 // pathological tag stacking.
+//
+//fgvet:noalloc
 func (r Record) With(f Field) Record {
 	if r.n < maxFields {
 		r.fields[r.n] = f
@@ -176,6 +186,8 @@ func (t *Tracer) spill() {
 }
 
 // Emit appends a record. Emitting to a nil tracer is a no-op.
+//
+//fgvet:noalloc
 func (t *Tracer) Emit(r Record) {
 	if t == nil {
 		return

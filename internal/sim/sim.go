@@ -141,6 +141,8 @@ func (e *Engine) Now() float64 { return e.now }
 // Schedule registers fn to run delay seconds from now. A negative delay is
 // treated as zero (the event runs "immediately", after already-queued events
 // at the current time). It returns a handle usable with Cancel.
+//
+//fgvet:noalloc
 func (e *Engine) Schedule(delay float64, fn func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
@@ -149,6 +151,8 @@ func (e *Engine) Schedule(delay float64, fn func()) Event {
 }
 
 // ScheduleNamed is Schedule with a debug label attached to the event.
+//
+//fgvet:noalloc
 func (e *Engine) ScheduleNamed(name string, delay float64, fn func()) Event {
 	ev := e.Schedule(delay, fn)
 	e.slots[ev.id].name = name
@@ -158,8 +162,11 @@ func (e *Engine) ScheduleNamed(name string, delay float64, fn func()) Event {
 // At registers fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently reordering history would
 // corrupt the experiment.
+//
+//fgvet:noalloc
 func (e *Engine) At(t float64, fn func()) Event {
 	if t < e.now {
+		//fgvet:allow noalloc panic formatting allocates, but scheduling in the past is a fatal modelling bug; the steady path never reaches it
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, e.now))
 	}
 	var id int32
@@ -191,6 +198,8 @@ func (e *Engine) At(t float64, fn func()) Event {
 // calendar entry stays in the heap and is discarded when it surfaces at the
 // root. A recycled slot's new occupant carries a fresh seq, so the stale
 // entry can never fire it.
+//
+//fgvet:noalloc
 func (e *Engine) Cancel(ev Event) {
 	if ev.eng != e || e == nil {
 		return
@@ -213,6 +222,8 @@ func (e *Engine) Pending() int { return e.live }
 
 // purge discards stale heap entries (cancelled events) until the root is a
 // live event or the heap drains. It never advances the clock.
+//
+//fgvet:noalloc
 func (e *Engine) purge() {
 	for len(e.heap) > 0 {
 		ent := e.heap[0]
@@ -236,6 +247,8 @@ func (e *Engine) PeekTime() (t float64, ok bool) {
 
 // Step executes the next event, advancing the clock to its time. It returns
 // false if no events remain or the engine was stopped.
+//
+//fgvet:noalloc
 func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
@@ -322,12 +335,16 @@ func entLess(a, b heapEnt) bool {
 }
 
 // heapPush queues a calendar entry.
+//
+//fgvet:noalloc
 func (e *Engine) heapPush(ent heapEnt) {
 	e.heap = append(e.heap, ent)
 	e.siftUp(len(e.heap) - 1)
 }
 
 // popRoot dequeues the minimum entry, preserving heap order.
+//
+//fgvet:noalloc
 func (e *Engine) popRoot() {
 	h := e.heap
 	n := len(h) - 1
@@ -341,6 +358,8 @@ func (e *Engine) popRoot() {
 }
 
 // siftUp restores heap order from position i toward the root.
+//
+//fgvet:noalloc
 func (e *Engine) siftUp(i int) {
 	h := e.heap
 	ent := h[i]
@@ -356,6 +375,8 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown restores heap order from position i toward the leaves.
+//
+//fgvet:noalloc
 func (e *Engine) siftDown(i int) {
 	h := e.heap
 	n := len(h)
@@ -407,6 +428,8 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 }
 
 // Reset (re)arms the timer to fire after d seconds.
+//
+//fgvet:noalloc
 func (t *Timer) Reset(d float64) {
 	t.Stop()
 	t.armed = true

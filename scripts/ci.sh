@@ -16,11 +16,30 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== fgvet (determinism invariants) =="
+echo "== fgvet (determinism invariants, all nine checks) =="
 # The custom analyzer suite (internal/lint): engine-clock time only,
 # seed-threaded RNGs, sorted map iteration, clone-per-goroutine ABR
-# engines, no silently dropped internal errors. Any diagnostic fails CI.
-go run ./cmd/fgvet ./...
+# engines, no silently dropped internal errors — plus the interprocedural
+# tier: no package-level writes from goroutine-reachable code
+# (sharedwrite), no order-sensitive float folds over shard/worker results
+# (fpfold), compiler-verified //fgvet:noalloc contracts (noalloc), and no
+# stale //fgvet:allow suppressions (allowaudit). Any diagnostic — stale
+# allows included — fails CI. FGVET.json is the machine-readable artifact,
+# archived next to the BENCH_*.json files.
+go build -o /tmp/fgvet-ci ./cmd/fgvet
+fgvet_start=$(date +%s%N)
+if ! /tmp/fgvet-ci -json \
+    -checks walltime,seededrand,maporder,clonecontract,errdrop,sharedwrite,fpfold,noalloc,allowaudit \
+    ./... > FGVET.json; then
+    echo "fgvet diagnostics (also in FGVET.json):" >&2
+    cat FGVET.json >&2
+    exit 1
+fi
+fgvet_ms=$(( ( $(date +%s%N) - fgvet_start ) / 1000000 ))
+echo "fgvet: clean in ${fgvet_ms}ms (whole-tree budget 5000ms)"
+if [ "$fgvet_ms" -gt 5000 ]; then
+    echo "warning: fgvet exceeded its 5s whole-tree budget (${fgvet_ms}ms); analyzer cost is drifting" >&2
+fi
 
 echo "== go build =="
 go build ./...

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# regen-goldens.sh — regenerate the fgvet fixture goldens after a deliberate
+# analyzer or fixture change, then show the diff for review.
+#
+#   scripts/regen-goldens.sh                 # regenerate every fixture golden
+#   scripts/regen-goldens.sh -check fpfold   # only testdata/fpfold/expect.golden
+#
+# The golden files pin each check's exact diagnostics (file:line:col, check
+# name, message). ci.sh does not regenerate them — a diff here is a reviewed
+# artifact change, the same contract as the fleet campaign goldens.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+check=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -check | --check)
+        [ $# -ge 2 ] || { echo "usage: $0 [-check <fixture>]" >&2; exit 2; }
+        check="$2"
+        shift 2
+        ;;
+    *)
+        echo "usage: $0 [-check <fixture>]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run='TestGolden'
+if [ -n "$check" ]; then
+    if [ ! -d "internal/lint/testdata/$check" ]; then
+        echo "no fixture internal/lint/testdata/$check; available:" >&2
+        ls internal/lint/testdata >&2
+        exit 2
+    fi
+    run="TestGolden/$check\$"
+fi
+
+go test ./internal/lint -run "$run" -update -count=1
+
+echo
+echo "== golden diff (review before committing) =="
+git --no-pager diff --stat -- internal/lint/testdata
+git --no-pager diff -- internal/lint/testdata
