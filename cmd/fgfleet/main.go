@@ -29,6 +29,11 @@
 //	-metrics FILE   write population histograms and counters (CSV)
 //	-stats          wall-clock UEs/sec and event counts on stderr
 //
+// Invalid knob values (-ues 0, negative -shards, a non-positive or
+// non-finite -window/-session) fail fast with exit status 2 before any
+// shard starts; the same inputs are rejected by fleet.Config.Validate, so
+// the library and fgservd refuse them identically.
+//
 // The trace artifact streams to FILE as campaigns merge, so trace memory
 // is bounded regardless of -ues. The fleet determinism contract applies:
 // stdout and both artifacts are byte-identical for any -shards value,
@@ -55,45 +60,76 @@ import (
 const spillRecords = colf.DefaultBlockRecords
 
 func main() {
-	ues := flag.Int("ues", 100000, "population size per mix")
-	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
-	seed := flag.Int64("seed", 1, "campaign seed")
-	mixName := flag.String("mix", "all", "deployment mix: low-band, mmwave, mixed, or all")
-	window := flag.Float64("window", 600, "arrival window (sim seconds)")
-	session := flag.Float64("session", 32, "video session length (sim seconds)")
-	stream := flag.Bool("stream", false, "stream mode: O(shards) campaign memory, sketch-based percentiles")
-	traceOut := flag.String("trace", "", "write sampled per-session trace records to this file")
-	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or colf")
-	spillMode := flag.String("spill", "shard", "trace encoding path: shard (parallel) or central (serial)")
-	metricsOut := flag.String("metrics", "", "write population histograms and counters (CSV) to this file")
-	stats := flag.Bool("stats", false, "print wall-clock UEs/sec and event counts to stderr")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() > 0 {
-		if flag.Arg(0) == "colf2json" {
-			colf2json("fgfleet", flag.Args()[1:])
-			return
+// run is the testable entry point: flags and streams in, exit status out.
+// Every failure path returns (2 for usage errors, 1 for runtime errors)
+// instead of calling os.Exit, so deferred closes always execute and tests
+// can drive the full CLI in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fgfleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ues := fs.Int("ues", 100000, "population size per mix")
+	shards := fs.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	mixName := fs.String("mix", "all", "deployment mix: low-band, mmwave, mixed, or all")
+	window := fs.Float64("window", 600, "arrival window (sim seconds)")
+	session := fs.Float64("session", 32, "video session length (sim seconds)")
+	stream := fs.Bool("stream", false, "stream mode: O(shards) campaign memory, sketch-based percentiles")
+	traceOut := fs.String("trace", "", "write sampled per-session trace records to this file")
+	traceFormat := fs.String("trace-format", "jsonl", "trace encoding: jsonl or colf")
+	spillMode := fs.String("spill", "shard", "trace encoding path: shard (parallel) or central (serial)")
+	metricsOut := fs.String("metrics", "", "write population histograms and counters (CSV) to this file")
+	stats := fs.Bool("stats", false, "print wall-clock UEs/sec and event counts to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() > 0 {
+		if fs.Arg(0) == "colf2json" {
+			return colf2json("fgfleet", fs.Args()[1:], stdin, stdout, stderr)
 		}
-		fmt.Fprintf(os.Stderr, "fgfleet: unknown argument %q (the only subcommand is colf2json)\n", flag.Arg(0))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fgfleet: unknown argument %q (the only subcommand is colf2json)\n", fs.Arg(0))
+		return 2
 	}
 	if *traceFormat != "jsonl" && *traceFormat != "colf" {
-		fmt.Fprintf(os.Stderr, "fgfleet: -trace-format must be jsonl or colf, got %q\n", *traceFormat)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fgfleet: -trace-format must be jsonl or colf, got %q\n", *traceFormat)
+		return 2
 	}
 	if *spillMode != "shard" && *spillMode != "central" {
-		fmt.Fprintf(os.Stderr, "fgfleet: -spill must be shard or central, got %q\n", *spillMode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fgfleet: -spill must be shard or central, got %q\n", *spillMode)
+		return 2
 	}
 
 	mixes := fleet.AllMixes
 	if *mixName != "all" {
 		m, err := fleet.MixByName(*mixName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fgfleet:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "fgfleet:", err)
+			return 2
 		}
 		mixes = []fleet.Mix{m}
+	}
+
+	// Fail fast on bad campaign knobs — before any file is created or shard
+	// started. The knobs are mix-independent, so validating one mix covers
+	// them all; fleet.Run revalidates, so the library rejects the same
+	// inputs when driven directly.
+	baseCfg := func(mix fleet.Mix) fleet.Config {
+		return fleet.Config{
+			Seed:     *seed,
+			UEs:      *ues,
+			Shards:   *shards,
+			Mix:      mix,
+			WindowS:  *window,
+			SessionS: *session,
+			Stream:   *stream,
+		}
+	}
+	if err := baseCfg(mixes[0]).Validate(); err != nil {
+		fmt.Fprintln(stderr, "fgfleet:", err)
+		return 2
 	}
 
 	var root *obs.Obs
@@ -108,22 +144,22 @@ func main() {
 	// one serial encoder. Both paths produce identical bytes; both keep
 	// trace memory bounded regardless of -ues. finishTrace drains the tail
 	// and closes the file.
-	finishTrace := func() {}
+	finishTrace := func() error { return nil }
 	var spill *fleet.Spill
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fgfleet:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fgfleet:", err)
+			return 1
 		}
-		closeTrace := func(err error) {
+		closeTrace := func(err error) error {
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fgfleet: writing %s: %v\n", *traceOut, err)
-				os.Exit(1)
+				return fmt.Errorf("writing %s: %w", *traceOut, err)
 			}
+			return nil
 		}
 		if *spillMode == "shard" {
 			if *traceFormat == "colf" {
@@ -131,7 +167,7 @@ func main() {
 			} else {
 				spill = fleet.NewJSONLSpill(f, "fleet")
 			}
-			finishTrace = func() { closeTrace(spill.Close()) }
+			finishTrace = func() error { return closeTrace(spill.Close()) }
 		} else {
 			var sink obs.RecordSink
 			var closeSink func() error
@@ -145,12 +181,12 @@ func main() {
 				closeSink = jw.Flush
 			}
 			root.Trace().SpillTo(sink, spillRecords)
-			finishTrace = func() {
+			finishTrace = func() error {
 				err := root.Trace().FlushSpill()
 				if err == nil {
 					err = closeSink()
 				}
-				closeTrace(err)
+				return closeTrace(err)
 			}
 		}
 	}
@@ -163,16 +199,8 @@ func main() {
 	rs := make([]*fleet.Result, 0, len(mixes))
 	for _, mix := range mixes {
 		sub := obs.Sub(root)
-		cfg := fleet.Config{
-			Seed:     *seed,
-			UEs:      *ues,
-			Shards:   *shards,
-			Mix:      mix,
-			WindowS:  *window,
-			SessionS: *session,
-			Obs:      sub,
-			Stream:   *stream,
-		}
+		cfg := baseCfg(mix)
+		cfg.Obs = sub
 		if spill != nil {
 			cfg.Spill = spill
 			cfg.SpillTags = []obs.Field{obs.S("mix", mix.String())}
@@ -180,8 +208,8 @@ func main() {
 		start := time.Now()
 		r, err := fleet.Run(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fgfleet:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fgfleet:", err)
+			return 1
 		}
 		wall := time.Since(start)
 		root.MergeTagged(sub, obs.S("mix", mix.String()))
@@ -189,20 +217,34 @@ func main() {
 		rs = append(rs, r)
 	}
 
+	var table fmt.Stringer
 	if *stream {
-		fmt.Println(experiments.FleetStreamTable(rs))
+		table = experiments.FleetStreamTable(rs)
 	} else {
-		fmt.Println(experiments.FleetTable(rs))
+		table = experiments.FleetTable(rs)
+	}
+	if _, err := fmt.Fprintln(stdout, table); err != nil {
+		// A stdout write error (closed pipe, full disk) must fail the run:
+		// a truncated table must never look like a successful one.
+		fmt.Fprintln(stderr, "fgfleet: writing table:", err)
+		return 1
 	}
 
-	finishTrace()
+	if err := finishTrace(); err != nil {
+		fmt.Fprintln(stderr, "fgfleet:", err)
+		return 1
+	}
 	if *metricsOut != "" {
-		writeArtifact(*metricsOut, func(f *os.File) error {
+		err := writeArtifact(*metricsOut, func(f *os.File) error {
 			return obs.WriteMetricsCSV(f, "fleet", root.Meter())
 		})
+		if err != nil {
+			fmt.Fprintln(stderr, "fgfleet:", err)
+			return 1
+		}
 	}
 	if *stats {
-		w := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
+		w := tabwriter.NewWriter(stderr, 2, 0, 2, ' ', 0)
 		fmt.Fprintln(w, "mix\tues\twall\tUEs/s\tevents")
 		var events uint64
 		var wall time.Duration
@@ -218,9 +260,10 @@ func main() {
 			len(mixes)**ues, wall.Round(time.Millisecond),
 			float64(len(mixes)**ues)/wall.Seconds(), events)
 		if err := w.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "fgfleet:", err)
+			fmt.Fprintln(stderr, "fgfleet:", err)
 		}
 	}
+	return 0
 }
 
 // campaignUEs returns the population size of a completed campaign in either
@@ -234,44 +277,52 @@ func campaignUEs(r *fleet.Result) int {
 
 // colf2json decodes a colf trace artifact back to JSON Lines on stdout:
 // byte-identical to what the jsonl trace format would have written for the
-// same records. "-" (or no argument) reads stdin.
-func colf2json(prog string, args []string) {
+// same records. "-" (or no argument) reads stdin. The input file's close
+// error is checked explicitly — the old deferred Close was silently skipped
+// by os.Exit on every path.
+func colf2json(prog string, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) > 1 {
-		fmt.Fprintf(os.Stderr, "usage: %s colf2json [file.colf]  (\"-\" or no argument reads stdin)\n", prog)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "usage: %s colf2json [file.colf]  (\"-\" or no argument reads stdin)\n", prog)
+		return 2
 	}
-	var in io.Reader = os.Stdin
+	in := stdin
+	var src *os.File
 	if len(args) == 1 && args[0] != "-" {
 		f, err := os.Open(args[0])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 1
 		}
-		defer f.Close()
+		src = f
 		in = f
 	}
-	if err := colf.DecodeToJSON(in, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
-		os.Exit(1)
+	err := colf.DecodeToJSON(in, stdout)
+	if src != nil {
+		if cerr := src.Close(); err == nil {
+			err = cerr
+		}
 	}
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+	return 0
 }
 
-// writeArtifact creates path and streams one artifact into it, failing the
-// run on any write error (a truncated artifact must never look like a
-// successful one).
-func writeArtifact(path string, write func(*os.File) error) {
+// writeArtifact creates path and streams one artifact into it, reporting
+// any create, write, or close error (a truncated artifact must never look
+// like a successful one).
+func writeArtifact(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fgfleet:", err)
-		os.Exit(1)
+		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
-		fmt.Fprintf(os.Stderr, "fgfleet: writing %s: %v\n", path, err)
-		os.Exit(1)
+		_ = f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "fgfleet: closing %s: %v\n", path, err)
-		os.Exit(1)
+		return fmt.Errorf("closing %s: %w", path, err)
 	}
+	return nil
 }

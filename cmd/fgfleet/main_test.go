@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the full CLI in-process and captures its streams.
+func runCLI(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestFlagValidation: bad knob values fail fast with exit 2 and a message
+// naming the problem, before any campaign starts or file is created.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"ues zero", []string{"-ues", "0"}, "UEs"},
+		{"ues negative", []string{"-ues", "-5"}, "UEs"},
+		{"shards negative", []string{"-shards", "-1"}, "Shards"},
+		{"window negative", []string{"-window", "-3"}, "WindowS"},
+		{"session negative", []string{"-session", "-1"}, "SessionS"},
+		{"window nan", []string{"-window", "NaN"}, "WindowS"},
+		{"unknown mix", []string{"-mix", "nope"}, "unknown mix"},
+		{"bad trace format", []string{"-trace-format", "xml"}, "-trace-format"},
+		{"bad spill mode", []string{"-spill", "sideways"}, "-spill"},
+		{"unknown arg", []string{"frobnicate"}, "unknown argument"},
+		{"undefined flag", []string{"-frobnicate"}, "frobnicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, "", tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("stdout = %q, want empty on a usage error", stdout)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestValidationPrecedesArtifacts: a bad -ues must not leave a truncated
+// trace file behind.
+func TestValidationPrecedesArtifacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	code, _, _ := runCLI(t, "", "-ues", "0", "-trace", path)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("trace file was created despite invalid flags (stat err: %v)", err)
+	}
+}
+
+// TestSmallCampaign: a tiny campaign succeeds and prints the fleet table.
+func TestSmallCampaign(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "",
+		"-ues", "19", "-mix", "mixed", "-window", "20", "-session", "8")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "mixed") {
+		t.Errorf("stdout does not contain the mix row:\n%s", stdout)
+	}
+}
+
+// TestColf2JSON: the colf trace artifact decodes to the exact jsonl
+// artifact, from a file argument and from stdin alike, and the error paths
+// exit nonzero without a partial-success exit status.
+func TestColf2JSON(t *testing.T) {
+	dir := t.TempDir()
+	colfPath := filepath.Join(dir, "t.colf")
+	jsonlPath := filepath.Join(dir, "t.jsonl")
+	common := []string{"-ues", "37", "-mix", "mixed", "-window", "20", "-session", "8"}
+	if code, _, stderr := runCLI(t, "", append(common, "-trace", colfPath, "-trace-format", "colf")...); code != 0 {
+		t.Fatalf("colf campaign exit = %d (stderr: %s)", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "", append(common, "-trace", jsonlPath)...); code != 0 {
+		t.Fatalf("jsonl campaign exit = %d (stderr: %s)", code, stderr)
+	}
+	wantB, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(wantB)
+
+	code, got, stderr := runCLI(t, "", "colf2json", colfPath)
+	if code != 0 {
+		t.Fatalf("colf2json file exit = %d (stderr: %s)", code, stderr)
+	}
+	if got != want {
+		t.Errorf("colf2json(file) differs from the jsonl artifact")
+	}
+
+	colfB, err := os.ReadFile(colfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, got, stderr = runCLI(t, string(colfB), "colf2json")
+	if code != 0 {
+		t.Fatalf("colf2json stdin exit = %d (stderr: %s)", code, stderr)
+	}
+	if got != want {
+		t.Errorf("colf2json(stdin) differs from the jsonl artifact")
+	}
+
+	if code, _, _ := runCLI(t, "", "colf2json", filepath.Join(dir, "missing.colf")); code != 1 {
+		t.Errorf("colf2json missing file exit = %d, want 1", code)
+	}
+	if code, _, _ := runCLI(t, "this is not a colf stream", "colf2json"); code != 1 {
+		t.Errorf("colf2json garbage stdin exit = %d, want 1", code)
+	}
+	if code, _, _ := runCLI(t, "", "colf2json", "a", "b"); code != 2 {
+		t.Errorf("colf2json two args exit = %d, want 2", code)
+	}
+}

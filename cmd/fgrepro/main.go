@@ -20,6 +20,9 @@
 //	                binary; decode with the colf2json subcommand)
 //	-metrics FILE   write the metrics snapshot (CSV) to FILE
 //
+// Invalid flag values (negative -parallel, an unknown -trace-format) fail
+// fast with exit status 2 before any experiment runs.
+//
 // Output is byte-identical for any -parallel value: experiments fan out
 // over a worker pool but are reassembled in sorted id order, and every
 // experiment is deterministic given -seed. The -trace/-metrics artifacts
@@ -43,30 +46,46 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "random seed")
-	quick := flag.Bool("quick", false, "reduced repeats for a fast pass")
-	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print per-experiment wall time and event counts to stderr")
-	traceOut := flag.String("trace", "", "write sim-time trace records to this file")
-	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or colf")
-	metricsOut := flag.String("metrics", "", "write the metrics snapshot (CSV) to this file")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+// run is the testable entry point: flags and streams in, exit status out.
+// Every failure path returns (2 for usage errors, 1 for runtime errors)
+// instead of calling os.Exit, so deferred closes always execute and tests
+// can drive the full CLI in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fgrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "random seed")
+	quick := fs.Bool("quick", false, "reduced repeats for a fast pass")
+	parallel := fs.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print per-experiment wall time and event counts to stderr")
+	traceOut := fs.String("trace", "", "write sim-time trace records to this file")
+	traceFormat := fs.String("trace-format", "jsonl", "trace encoding: jsonl or colf")
+	metricsOut := fs.String("metrics", "", "write the metrics snapshot (CSV) to this file")
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sub := fs.Args()
+	if len(sub) == 0 {
+		usage(stderr)
+		return 2
 	}
 	// Accept flags on either side of the subcommand (`fgrepro -quick all`
 	// and `fgrepro all -parallel 4` both work): the standard flag package
 	// stops at the first positional argument, so re-parse what follows it.
-	if err := flag.CommandLine.Parse(args[1:]); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(sub[1:]); err != nil {
+		return 2
 	}
 	if *traceFormat != "jsonl" && *traceFormat != "colf" {
-		fmt.Fprintf(os.Stderr, "fgrepro: -trace-format must be jsonl or colf, got %q\n", *traceFormat)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fgrepro: -trace-format must be jsonl or colf, got %q\n", *traceFormat)
+		return 2
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(stderr, "fgrepro: -parallel must be >= 0 (0 = GOMAXPROCS), got %d\n", *parallel)
+		return 2
 	}
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	if *traceOut != "" || *metricsOut != "" {
@@ -74,81 +93,105 @@ func main() {
 		// own registry; the instrumented subsystems then record into it.
 		cfg.Obs = obs.New()
 	}
-	rest := flag.Args()
-	switch args[0] {
+	rest := fs.Args()
+	switch sub[0] {
 	case "list":
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
+		return 0
 	case "all":
-		runBattery(cfg, experiments.IDs(), *parallel, *stats, *traceOut, *traceFormat, *metricsOut)
+		return runBattery(cfg, experiments.IDs(), *parallel, *stats, *traceOut, *traceFormat, *metricsOut, stdout, stderr)
 	case "run":
 		if len(rest) == 0 {
-			fmt.Fprintln(os.Stderr, "fgrepro run: need at least one experiment id")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "fgrepro run: need at least one experiment id")
+			return 2
 		}
-		runBattery(cfg, rest, *parallel, *stats, *traceOut, *traceFormat, *metricsOut)
+		return runBattery(cfg, rest, *parallel, *stats, *traceOut, *traceFormat, *metricsOut, stdout, stderr)
 	case "colf2json":
-		colf2json(rest)
+		return colf2json(rest, stdin, stdout, stderr)
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 }
 
 // colf2json decodes a colf trace artifact back to JSON Lines on stdout:
 // byte-identical to what -trace-format=jsonl would have written for the
-// same records. "-" (or no argument) reads stdin.
-func colf2json(args []string) {
+// same records. "-" (or no argument) reads stdin. The input file's close
+// error is checked explicitly — the old deferred Close was silently skipped
+// by os.Exit on every path.
+func colf2json(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) > 1 {
-		fmt.Fprintln(os.Stderr, `usage: fgrepro colf2json [file.colf]  ("-" or no argument reads stdin)`)
-		os.Exit(2)
+		fmt.Fprintln(stderr, `usage: fgrepro colf2json [file.colf]  ("-" or no argument reads stdin)`)
+		return 2
 	}
-	var in io.Reader = os.Stdin
+	in := stdin
+	var src *os.File
 	if len(args) == 1 && args[0] != "-" {
 		f, err := os.Open(args[0])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fgrepro:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fgrepro:", err)
+			return 1
 		}
-		defer f.Close()
+		src = f
 		in = f
 	}
-	if err := colf.DecodeToJSON(in, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "fgrepro:", err)
-		os.Exit(1)
+	err := colf.DecodeToJSON(in, stdout)
+	if src != nil {
+		if cerr := src.Close(); err == nil {
+			err = cerr
+		}
 	}
+	if err != nil {
+		fmt.Fprintln(stderr, "fgrepro:", err)
+		return 1
+	}
+	return 0
 }
 
 // runBattery executes ids over the worker pool and prints the tables in
 // input order, optionally followed by a per-experiment campaign summary and
 // the trace/metrics artifacts.
-func runBattery(cfg experiments.Config, ids []string, workers int, stats bool, traceOut, traceFormat, metricsOut string) {
+func runBattery(cfg experiments.Config, ids []string, workers int, stats bool, traceOut, traceFormat, metricsOut string, stdout, stderr io.Writer) int {
 	results, err := experiments.RunMany(cfg, ids, workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fgrepro:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "fgrepro:", err)
+		return 1
 	}
 	for _, r := range results {
 		for _, t := range r.Tables {
-			fmt.Println(t)
+			if _, err := fmt.Fprintln(stdout, t); err != nil {
+				// A stdout write error (closed pipe, full disk) must fail
+				// the run: a truncated table must never look complete.
+				fmt.Fprintln(stderr, "fgrepro: writing table:", err)
+				return 1
+			}
 		}
 	}
 	if traceOut != "" {
-		writeArtifact(traceOut, func(f *os.File) error {
+		err := writeArtifact(traceOut, func(f *os.File) error {
 			if traceFormat == "colf" {
 				return experiments.WriteTraceColf(f, results)
 			}
 			return experiments.WriteTrace(f, results)
 		})
+		if err != nil {
+			fmt.Fprintln(stderr, "fgrepro:", err)
+			return 1
+		}
 	}
 	if metricsOut != "" {
-		writeArtifact(metricsOut, func(f *os.File) error {
+		err := writeArtifact(metricsOut, func(f *os.File) error {
 			return experiments.WriteMetrics(f, results)
 		})
+		if err != nil {
+			fmt.Fprintln(stderr, "fgrepro:", err)
+			return 1
+		}
 	}
 	if stats {
-		w := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
+		w := tabwriter.NewWriter(stderr, 2, 0, 2, ' ', 0)
 		fmt.Fprintln(w, "experiment\twall\tevents")
 		var events uint64
 		for _, r := range results {
@@ -157,33 +200,32 @@ func runBattery(cfg experiments.Config, ids []string, workers int, stats bool, t
 		}
 		fmt.Fprintf(w, "total\t\t%d\n", events)
 		if err := w.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "fgrepro:", err)
+			fmt.Fprintln(stderr, "fgrepro:", err)
 		}
 	}
+	return 0
 }
 
-// writeArtifact creates path and streams one artifact into it, failing the
-// run on any write error (a truncated artifact must never look like a
-// successful one).
-func writeArtifact(path string, write func(*os.File) error) {
+// writeArtifact creates path and streams one artifact into it, reporting
+// any create, write, or close error (a truncated artifact must never look
+// like a successful one).
+func writeArtifact(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fgrepro:", err)
-		os.Exit(1)
+		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
-		fmt.Fprintf(os.Stderr, "fgrepro: writing %s: %v\n", path, err)
-		os.Exit(1)
+		_ = f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "fgrepro: closing %s: %v\n", path, err)
-		os.Exit(1)
+		return fmt.Errorf("closing %s: %w", path, err)
 	}
+	return nil
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `fgrepro regenerates the paper's tables and figures.
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `fgrepro regenerates the paper's tables and figures.
 
 usage:
   fgrepro [flags] list

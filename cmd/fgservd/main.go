@@ -1,0 +1,146 @@
+// Command fgservd serves simulation scenarios over HTTP: POST a JSON
+// scenario to /v1/run and stream back the artifact — rendered tables, obs
+// trace JSONL or colf bytes, or metrics CSV — byte-identical to the offline
+// fgrepro/fgfleet output for the same parameters. Repeat requests replay
+// the cached artifact without re-simulating (the determinism contract makes
+// every artifact a pure function of its canonical scenario key).
+//
+// Usage:
+//
+//	fgservd [-addr 127.0.0.1:8066] [-workers N] [-queue N]
+//	        [-timeout 120s] [-cache N] [-addr-file PATH]
+//	fgservd -selftest [-selftest-requests N] [-seed N]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight runs finish their artifacts (a drain never truncates a
+// response), and only then does the process exit.
+//
+// -selftest starts an in-process server on a loopback port and runs the
+// load-test harness against it: thousands of concurrent scenario requests
+// with arrival times drawn from the simulator's own arrival model, every
+// response verified complete and byte-identical per scenario key. Exit
+// status is nonzero if any response was dropped, truncated, or mismatched.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fivegsim/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags in, exit status out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fgservd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8066", "listen address (host:port; port 0 picks a free port)")
+		addrFile  = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		workers   = fs.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "max requests waiting for a worker before 429 (0 = default)")
+		timeout   = fs.Duration("timeout", 0, "per-request run budget (0 = default)")
+		cacheN    = fs.Int("cache", 0, "max cached artifacts (0 = default)")
+		selftest  = fs.Bool("selftest", false, "start an in-process server and hammer it with the load-test harness")
+		selftestN = fs.Int("selftest-requests", 1000, "request count for -selftest")
+		seed      = fs.Int64("seed", 1, "seed for the -selftest arrival schedule")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fgservd: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if *workers < 0 || *queue < 0 || *cacheN < 0 || *timeout < 0 {
+		fmt.Fprintln(stderr, "fgservd: -workers, -queue, -cache, and -timeout must be >= 0")
+		return 2
+	}
+	if *selftestN <= 0 {
+		fmt.Fprintln(stderr, "fgservd: -selftest-requests must be >= 1")
+		return 2
+	}
+	opts := serve.Options{
+		Workers:      *workers,
+		Queue:        *queue,
+		Timeout:      *timeout,
+		CacheEntries: *cacheN,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *selftest {
+		return runSelftest(ctx, opts, *selftestN, *seed, stdout, stderr)
+	}
+
+	srv := serve.New(opts)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "fgservd: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written after Listen succeeds: a script polling the file sees an
+		// address only once connections will be accepted.
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "fgservd: writing -addr-file: %v\n", err)
+			_ = ln.Close()
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "fgservd: listening on %s\n", bound)
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintf(stderr, "fgservd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "fgservd: drained, shutting down")
+	return 0
+}
+
+// runSelftest hosts a server on a loopback port and runs the load harness
+// against it over real TCP, then reports the verified outcome.
+func runSelftest(ctx context.Context, opts serve.Options, requests int, seed int64, stdout, stderr io.Writer) int {
+	srv := serve.New(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(stderr, "fgservd: %v\n", err)
+		return 1
+	}
+	srvCtx, stopSrv := context.WithCancel(ctx)
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(srvCtx, ln) }()
+	fmt.Fprintf(stdout, "fgservd: selftest server on %s, %d requests\n", ln.Addr(), requests)
+
+	report, err := serve.LoadTest(serve.LoadOptions{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Requests: requests,
+		Seed:     seed,
+	})
+	stopSrv()
+	if serr := <-served; serr != nil {
+		fmt.Fprintf(stderr, "fgservd: selftest server: %v\n", serr)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "fgservd: selftest: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, report.String())
+	if report.Failed() {
+		fmt.Fprintln(stderr, "fgservd: selftest FAILED: dropped, truncated, or mismatched responses")
+		return 1
+	}
+	fmt.Fprintln(stdout, "fgservd: selftest passed")
+	return 0
+}

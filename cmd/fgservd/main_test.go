@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the daemon entry point in-process.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestFlagValidation: bad flag values exit 2 with a message before any
+// listener is opened.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"negative queue", []string{"-queue", "-1"}, "-queue"},
+		{"negative cache", []string{"-cache", "-1"}, "-cache"},
+		{"negative timeout", []string{"-timeout", "-5s"}, "-timeout"},
+		{"zero selftest requests", []string{"-selftest", "-selftest-requests", "0"}, "-selftest-requests"},
+		{"unexpected argument", []string{"scenario.json"}, "unexpected argument"},
+		{"undefined flag", []string{"-frobnicate"}, "frobnicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("stdout = %q, want empty on a usage error", stdout)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestSelftestSmall: a reduced selftest run passes end to end — server up,
+// verified load, clean shutdown, exit 0.
+func TestSelftestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest skipped in -short mode")
+	}
+	code, stdout, stderr := runCLI("-selftest", "-selftest-requests", "40")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "selftest passed") {
+		t.Errorf("stdout missing pass marker:\n%s", stdout)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -51,6 +52,16 @@ func (r Result) Render() string {
 // randomness flows from cfg.Seed, so the tables are byte-identical to a
 // serial run with the same Config — only Wall varies between runs.
 func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
+	return RunManyCtx(context.Background(), cfg, ids, workers)
+}
+
+// RunManyCtx is RunMany with cooperative cancellation: when ctx is done, no
+// further experiment is dispatched — workers finish the experiment they are
+// on (experiments are pure compute between reduce steps; there is nothing
+// mid-experiment to interrupt safely) and RunManyCtx returns ctx's error
+// with nil results. A nil error guarantees every requested experiment ran,
+// so partial batteries can never masquerade as complete ones.
+func RunManyCtx(ctx context.Context, cfg Config, ids []string, workers int) ([]Result, error) {
 	fns := make([]Func, len(ids))
 	for i, id := range ids {
 		f, ok := registry[id]
@@ -75,6 +86,9 @@ func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				k := int(next.Add(1)) - 1
 				if k >= len(order) {
 					return
@@ -102,6 +116,9 @@ func RunMany(cfg Config, ids []string, workers int) ([]Result, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: battery canceled: %w", err)
+	}
 	return results, nil
 }
 

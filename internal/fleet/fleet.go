@@ -78,6 +78,19 @@ type Config struct {
 	SpillTags []obs.Field
 }
 
+// Defaulted returns the config with every zero-means-default knob resolved
+// to its actual value (Shards excepted: it stays 0 for GOMAXPROCS, since the
+// resolved value is host-dependent and — by the determinism contract —
+// cannot affect campaign output). Canonical scenario keys (internal/serve)
+// are built from the defaulted config so "window omitted" and "window 600"
+// cache as the same campaign.
+func (c Config) Defaulted() Config {
+	shards := c.Shards
+	c = c.withDefaults()
+	c.Shards = shards
+	return c
+}
+
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
@@ -185,9 +198,13 @@ func Partition(n, shards int) []Range {
 
 // Run executes a campaign: fan the population out over engine shards, join,
 // then reduce serially in UE id order. It fails before any shard starts when
-// the campaign cannot be built — an unknown mix, or a deployment layer whose
-// (device, band-class) pair has no measured power curve.
+// the campaign cannot be built — a config that Validate rejects, an unknown
+// mix, or a deployment layer whose (device, band-class) pair has no measured
+// power curve.
 func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	dep, err := newDeployment(cfg.Mix, cfg.RouteKm)
 	if err != nil {

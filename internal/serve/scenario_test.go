@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"fivegsim/internal/experiments"
+	"fivegsim/internal/fleet"
+	"fivegsim/internal/obs"
+)
+
+// TestParseScenarioRejects: malformed JSON, unknown fields, and invalid
+// scenarios all fail ParseScenario — a typo must never run a default
+// scenario silently.
+func TestParseScenarioRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `this is not json`},
+		{"unknown field", `{"kind":"battery","quik":true}`},
+		{"missing kind", `{}`},
+		{"bad kind", `{"kind":"warmup"}`},
+		{"bad artifact", `{"kind":"battery","artifact":"pdf"}`},
+		{"bad trace format", `{"kind":"battery","artifact":"trace","trace_format":"xml"}`},
+		{"unknown experiment", `{"kind":"battery","experiments":["nope"]}`},
+		{"battery with fleet", `{"kind":"battery","fleet":{"ues":10}}`},
+		{"fleet without fleet", `{"kind":"fleet"}`},
+		{"fleet zero ues", `{"kind":"fleet","fleet":{"ues":0}}`},
+		{"fleet negative shards", `{"kind":"fleet","fleet":{"ues":10,"shards":-1}}`},
+		{"fleet negative window", `{"kind":"fleet","fleet":{"ues":10,"window_s":-5}}`},
+		{"fleet unknown mix", `{"kind":"fleet","fleet":{"ues":10,"mix":"nope"}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseScenario(strings.NewReader(tc.body)); err == nil {
+				t.Fatalf("ParseScenario accepted %s", tc.body)
+			}
+		})
+	}
+}
+
+// TestCanonicalKeyNormalizes: omitted knobs and their explicit defaults key
+// identically, and shard count never enters the key (output is
+// shard-invariant by the determinism contract).
+func TestCanonicalKeyNormalizes(t *testing.T) {
+	one := int64(1)
+	pairs := []struct {
+		name string
+		a, b Scenario
+	}{
+		{"battery defaults",
+			Scenario{Kind: "battery"},
+			Scenario{Kind: "battery", Seed: &one, Artifact: ArtifactTable}},
+		{"fleet window default",
+			Scenario{Kind: "fleet", Fleet: &FleetScenario{UEs: 50}},
+			Scenario{Kind: "fleet", Fleet: &FleetScenario{UEs: 50, WindowS: 600, SessionS: 32}}},
+		{"fleet shards ignored",
+			Scenario{Kind: "fleet", Fleet: &FleetScenario{UEs: 50, Shards: 1}},
+			Scenario{Kind: "fleet", Fleet: &FleetScenario{UEs: 50, Shards: 7}}},
+		{"fleet mix all spelled out",
+			Scenario{Kind: "fleet", Fleet: &FleetScenario{UEs: 50}},
+			Scenario{Kind: "fleet", Fleet: &FleetScenario{UEs: 50, Mix: "all"}}},
+	}
+	for _, tc := range pairs {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, kb := tc.a.CanonicalKey(), tc.b.CanonicalKey()
+			if ka != kb {
+				t.Errorf("keys differ:\n  %s\n  %s", ka, kb)
+			}
+		})
+	}
+	ta := Scenario{Kind: "battery"}
+	tb := Scenario{Kind: "battery", Quick: true}
+	if ta.CanonicalKey() == tb.CanonicalKey() {
+		t.Error("quick and full batteries share a key")
+	}
+}
+
+// TestBatteryTableMatchesRunMany: the served battery table is the exact
+// byte concatenation fgrepro prints for the same ids and seed.
+func TestBatteryTableMatchesRunMany(t *testing.T) {
+	sc := &Scenario{Kind: "battery", Quick: true, Experiments: []string{"table7", "fig11"}}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := RunScenario(context.Background(), sc, &got); err != nil {
+		t.Fatal(err)
+	}
+	results, err := experiments.RunMany(experiments.Config{Seed: 1, Quick: true},
+		[]string{"table7", "fig11"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, r := range results {
+		for _, tbl := range r.Tables {
+			want.WriteString(tbl.String())
+			want.WriteString("\n")
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("served battery table differs from RunMany rendering")
+	}
+}
+
+// TestFleetTraceMatchesCentralPipeline: the served fleet trace (the
+// shard-parallel Spill path) is byte-identical to the central
+// Obs+SpillTo pipeline for the same campaign — the two encoders share
+// nothing but the record contract.
+func TestFleetTraceMatchesCentralPipeline(t *testing.T) {
+	sc := &Scenario{Kind: "fleet", Artifact: ArtifactTrace,
+		Fleet: &FleetScenario{UEs: 61, Mix: "mixed", WindowS: 20, SessionS: 8}}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := RunScenario(context.Background(), sc, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	root := obs.New()
+	var want bytes.Buffer
+	jw := obs.NewTraceJSONWriter(&want, "fleet")
+	root.Trace().SpillTo(jw, 64)
+	sub := obs.Sub(root)
+	mix, err := fleet.MixByName("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.fleetConfig(mix)
+	cfg.Obs = sub
+	if _, err := fleet.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	root.MergeTagged(sub, obs.S("mix", "mixed"))
+	if err := root.Trace().FlushSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("served fleet trace differs from the central pipeline\nserved %d bytes, central %d bytes",
+			got.Len(), want.Len())
+	}
+	if got.Len() == 0 {
+		t.Error("trace artifact is empty")
+	}
+}
+
+// TestRunScenarioCanceled: a canceled context stops a fleet scenario
+// between campaigns with a wrapped context error.
+func TestRunScenarioCanceled(t *testing.T) {
+	sc := &Scenario{Kind: "fleet", Fleet: &FleetScenario{UEs: 10, WindowS: 20, SessionS: 8}}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := RunScenario(ctx, sc, &buf); err == nil {
+		t.Fatal("canceled fleet scenario returned nil error")
+	}
+}

@@ -159,4 +159,78 @@ for pair in "fleet-trace-7.jsonl fleet-central.jsonl" \
     fi
 done
 
+echo "== fgservd smoke (served bytes = offline CLI bytes, incl. cache replay) =="
+# The serving contract: a scenario streamed over HTTP is byte-identical to
+# the offline fgrepro/fgfleet artifact for the same parameters, and a repeat
+# request replays the cached artifact byte-identically (X-Fgserv-Cache: hit).
+# The daemon picks a free port and publishes it via -addr-file; SIGTERM at
+# the end must drain cleanly (exit 0).
+go build -o "$tmpdir/fgservd" ./cmd/fgservd
+"$tmpdir/fgservd" -addr 127.0.0.1:0 -addr-file "$tmpdir/fgservd.addr" \
+    > "$tmpdir/fgservd.log" 2>&1 &
+fgservd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmpdir/fgservd.addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$tmpdir/fgservd.addr" ]; then
+    echo "fgservd never published its address:" >&2
+    cat "$tmpdir/fgservd.log" >&2
+    exit 1
+fi
+base="http://$(cat "$tmpdir/fgservd.addr" | tr -d '[:space:]')"
+
+# Battery: the served quick-battery table equals fgrepro stdout.
+curl -sSf -X POST -H 'Content-Type: application/json' \
+    -d '{"kind":"battery","quick":true}' \
+    "$base/v1/run" > "$tmpdir/served-battery.txt"
+if ! cmp -s "$tmpdir/serial.txt" "$tmpdir/served-battery.txt"; then
+    echo "served battery table differs from fgrepro stdout" >&2
+    exit 1
+fi
+
+# Fleet: table, trace, and metrics each equal the fgfleet artifacts from
+# the determinism gate above (ues 403, seed 7, window 60).
+fleet_body() {
+    printf '{"kind":"fleet","seed":7,"artifact":"%s","fleet":{"ues":403,"window_s":60}}' "$1"
+}
+curl -sSf -X POST -d "$(fleet_body table)"   "$base/v1/run" > "$tmpdir/served-fleet.txt"
+curl -sSf -X POST -d "$(fleet_body trace)"   "$base/v1/run" > "$tmpdir/served-fleet.jsonl"
+curl -sSf -X POST -d "$(fleet_body metrics)" "$base/v1/run" > "$tmpdir/served-fleet.csv"
+for pair in "fleet-1.txt served-fleet.txt" "fleet-trace-1.jsonl served-fleet.jsonl" \
+            "fleet-metrics-1.csv served-fleet.csv"; do
+    set -- $pair
+    if ! cmp -s "$tmpdir/$1" "$tmpdir/$2"; then
+        echo "served fleet artifact differs from offline fgfleet: $1 vs $2" >&2
+        exit 1
+    fi
+done
+
+# Cache replay: the second fetch must be a hit and byte-identical.
+curl -sSf -D "$tmpdir/replay-headers.txt" -X POST -d "$(fleet_body trace)" \
+    "$base/v1/run" > "$tmpdir/served-fleet-replay.jsonl"
+if ! grep -qi '^x-fgserv-cache: hit' "$tmpdir/replay-headers.txt"; then
+    echo "repeat fleet trace request was not served from cache:" >&2
+    cat "$tmpdir/replay-headers.txt" >&2
+    exit 1
+fi
+if ! cmp -s "$tmpdir/served-fleet.jsonl" "$tmpdir/served-fleet-replay.jsonl"; then
+    echo "cache replay is not byte-identical to the generated response" >&2
+    exit 1
+fi
+
+# Graceful drain: SIGTERM must exit 0 after in-flight work completes.
+kill -TERM "$fgservd_pid"
+if ! wait "$fgservd_pid"; then
+    echo "fgservd did not drain cleanly on SIGTERM:" >&2
+    cat "$tmpdir/fgservd.log" >&2
+    exit 1
+fi
+
+echo "== fgservd selftest (1000 concurrent requests, byte-verified) =="
+# The load harness: 1000 requests with arrival times from the simulator's
+# own arrival model, every 200 verified complete and byte-identical per
+# scenario key. Back-pressure rejections are allowed; drops are not.
+"$tmpdir/fgservd" -selftest -selftest-requests 1000
+
 echo "ci: all green"
